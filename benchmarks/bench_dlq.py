@@ -1,0 +1,74 @@
+"""Experiment C6 — §4.1.2: dead letter queues vs drop vs block.
+
+Paper: "there are many scenarios in Uber that demand neither data loss nor
+clogged processing ... the unprocessed messages remain separate and
+therefore are unable to impede live traffic."
+
+Series: live-path completion and data loss under a poison-message rate,
+for the three policies plain Kafka offers vs the DLQ.
+"""
+
+from __future__ import annotations
+
+from repro.kafka.consumer import Consumer, GroupCoordinator
+from repro.kafka.dlq import DlqConsumer, FailurePolicy
+
+from benchmarks.conftest import feed_topic, kafka_with_topic, print_table
+
+N_MESSAGES = 1000
+POISON_EVERY = 50  # 2% poison
+
+
+def run_policy(policy: FailurePolicy):
+    clock, cluster = kafka_with_topic("events", partitions=1)
+    rows = [
+        {"i": i, "poison": i % POISON_EVERY == 0, "event_time": float(i)}
+        for i in range(N_MESSAGES)
+    ]
+    feed_topic(cluster, clock, "events", rows, key_field="i", dt=0.01)
+
+    def handler(message):
+        if message.entry.record.value["poison"]:
+            raise RuntimeError("poison")
+
+    consumer = Consumer(cluster, GroupCoordinator(cluster), "g", "events", "m0")
+    dlq = DlqConsumer(cluster, consumer, handler, policy, max_retries=2)
+    for __ in range(50):
+        dlq.process_batch(1000)
+    return dlq.stats
+
+
+def run_all():
+    return {policy: run_policy(policy) for policy in FailurePolicy}
+
+
+def test_dlq_vs_alternatives(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    poison_count = N_MESSAGES // POISON_EVERY
+    rows = []
+    for policy, stats in results.items():
+        completed = stats.processed
+        lost = stats.dropped
+        quarantined = stats.dead_lettered
+        stuck = N_MESSAGES - completed - lost - quarantined
+        rows.append([policy.value, completed, lost, quarantined, stuck])
+    print_table(
+        f"C6: {N_MESSAGES} messages, {poison_count} poison, single partition",
+        ["policy", "processed", "lost", "quarantined", "stuck behind poison"],
+        rows,
+    )
+    drop = results[FailurePolicy.DROP]
+    block = results[FailurePolicy.BLOCK]
+    dlq = results[FailurePolicy.DLQ]
+    # Drop: full throughput but data loss.
+    assert drop.processed == N_MESSAGES - poison_count
+    assert drop.dropped == poison_count
+    # Block: the first poison message clogs everything behind it.
+    assert block.processed < N_MESSAGES // POISON_EVERY
+    assert block.blocked_on is not None
+    # DLQ: no loss, no clog — everything healthy processed, poison
+    # quarantined and recoverable.
+    assert dlq.processed == N_MESSAGES - poison_count
+    assert dlq.dead_lettered == poison_count
+    assert dlq.dropped == 0
+    benchmark.extra_info["dlq_quarantined"] = dlq.dead_lettered

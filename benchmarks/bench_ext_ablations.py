@@ -1,0 +1,132 @@
+"""Extension X4 — ablations of design choices DESIGN.md calls out.
+
+1. **Star-tree ``max_leaf_records``** (§4.3): the pre-aggregation
+   threshold trades tree size (build cost, memory) against per-query doc
+   scans.  The paper's claim only needs "order of magnitude vs scan"; the
+   ablation maps the whole knob.
+2. **Checkpoint interval** (§4.2): more frequent checkpoints shrink
+   reprocessing after a failure but cost more checkpoint work — the
+   operational dial behind "robust checkpoints" in §10.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import seeded_rng
+from repro.flink.graph import StreamEnvironment
+from repro.flink.runtime import JobRuntime
+from repro.flink.windows import CountAggregate, TumblingWindows
+from repro.pinot.startree import StarTree, StarTreeConfig
+from repro.storage.blobstore import BlobStore
+
+from benchmarks.conftest import (
+    feed_topic,
+    kafka_with_topic,
+    order_rows,
+    print_table,
+)
+
+
+def startree_ablation():
+    rows = order_rows(20_000, restaurants=100)
+    results = []
+    for max_leaf in (8, 64, 512, 4096):
+        tree = StarTree(
+            rows,
+            StarTreeConfig(dimensions=["restaurant_id", "item", "status"],
+                           metrics=["amount"], max_leaf_records=max_leaf),
+        )
+        __, stats = tree.query(
+            filters={"restaurant_id": "rest-7"},
+            group_by=["item"],
+            sum_metric="amount",
+        )
+        results.append(
+            (max_leaf, tree.node_count, stats.nodes_visited, stats.docs_scanned)
+        )
+    return results
+
+
+def checkpoint_ablation():
+    """Fail a Kafka-count job mid-stream (not at a checkpoint boundary);
+    measure records reprocessed after restoring, per checkpoint interval."""
+    total = 4000
+    fail_after = 3500  # the job dies somewhere past here, between checkpoints
+    results = []
+    for interval in (2000, 500, 100):
+        clock, cluster = kafka_with_topic("events", partitions=2)
+        rows = [{"i": i, "event_time": float(i)} for i in range(total)]
+        feed_topic(cluster, clock, "events", rows, key_field="i", dt=0.1)
+        out: list = []
+        env = StreamEnvironment()
+        env.from_kafka(cluster, "events", group="g") \
+            .key_by(lambda v: f"k{v['i'] % 7}") \
+            .window(TumblingWindows(60.0)) \
+            .aggregate(CountAggregate()) \
+            .sink_to_list(out)
+        runtime = JobRuntime(env.build(f"ckpt-{interval}"),
+                             blob_store=BlobStore())
+
+        def source_records() -> int:
+            return sum(
+                task.records_processed
+                for spec in runtime.graph.sources()
+                for task in runtime.tasks[spec.op_id]
+            )
+
+        last_checkpoint = runtime.trigger_checkpoint()
+        checkpoints = 1
+        checkpointed_at = 0
+        while source_records() < fail_after:
+            # An odd step size keeps the failure point off checkpoint
+            # boundaries (74 records/round across the two source subtasks).
+            if runtime.run_rounds(1, budget_per_task=37) == 0:
+                break
+            if source_records() - checkpointed_at >= interval:
+                last_checkpoint = runtime.trigger_checkpoint()
+                checkpoints += 1
+                checkpointed_at = source_records()
+        failed_at = source_records()
+        runtime.restore_from(last_checkpoint)
+        runtime.run_until_quiescent()
+        # Re-read = everything between the last checkpoint and the end,
+        # minus the part that was never processed before the failure.
+        reread = source_records() - failed_at
+        reprocessed = reread - (total - failed_at)
+        results.append((interval, checkpoints, reprocessed))
+    return results
+
+
+def test_startree_leaf_threshold(benchmark):
+    results = benchmark.pedantic(startree_ablation, rounds=1, iterations=1)
+    print_table(
+        "X4a: star-tree max_leaf_records ablation (20k rows)",
+        ["max_leaf_records", "tree nodes", "nodes visited", "docs scanned"],
+        [list(r) for r in results],
+    )
+    # Smaller leaves: bigger tree, less scanning; monotone in both.
+    nodes = [r[1] for r in results]
+    scanned = [r[3] for r in results]
+    assert nodes == sorted(nodes, reverse=True)
+    assert scanned == sorted(scanned)
+    # At every setting the query work stays far below a full scan.
+    assert all(r[2] + r[3] < 20_000 / 4 for r in results)
+    benchmark.extra_info["tree_nodes_range"] = (nodes[-1], nodes[0])
+
+
+def test_checkpoint_interval(benchmark):
+    results = benchmark.pedantic(checkpoint_ablation, rounds=1, iterations=1)
+    print_table(
+        "X4b: checkpoint interval vs reprocessing after failure (4k records)",
+        ["records per checkpoint", "checkpoints taken", "records reprocessed"],
+        [list(r) for r in results],
+    )
+    # Tighter checkpointing -> more checkpoints, and reprocessing bounded
+    # by roughly one interval (plus one scheduler round of slack).
+    checkpoints = [r[1] for r in results]
+    reprocessed = [r[2] for r in results]
+    assert checkpoints == sorted(checkpoints)
+    round_slack = 2 * 37  # two source subtasks per round
+    for (interval, __, redone) in results:
+        assert 0 <= redone <= interval + round_slack
+    assert reprocessed[-1] < reprocessed[0]
+    benchmark.extra_info["reprocessed_range"] = (reprocessed[-1], reprocessed[0])

@@ -1,0 +1,107 @@
+"""Experiment C5 — §4.1.1: cluster federation scalability.
+
+Paper: "the ideal cluster size is less than 150 nodes for optimum
+performance.  With federation, the Kafka service can scale horizontally by
+adding more clusters when a cluster is full.  New topics are seamlessly
+created on the newly added clusters. ... Cluster federation enables
+consumer traffic redirection to another physical cluster without
+restarting the application."
+
+Series: topics placed vs clusters in the federation (capacity grows
+linearly, no cluster exceeds the node cap); plus the live-migration
+check (consumer keeps consuming across a migration, zero loss/dup).
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import SimulatedClock
+from repro.kafka.cluster import KafkaCluster, TopicConfig
+from repro.kafka.federation import (
+    IDEAL_MAX_NODES_PER_CLUSTER,
+    PARTITIONS_PER_NODE,
+    FederatedConsumer,
+    FederatedProducer,
+    FederationMetadataServer,
+)
+
+from benchmarks.conftest import print_table
+
+BROKERS_PER_CLUSTER = 4
+TOPIC_PARTITIONS = 4
+
+
+def run_growth():
+    """Keep placing topics; add a cluster whenever the federation fills."""
+    clock = SimulatedClock()
+    metadata = FederationMetadataServer()
+    metadata.add_cluster(KafkaCluster("cluster-0", BROKERS_PER_CLUSTER, clock=clock))
+    capacity_per_cluster = BROKERS_PER_CLUSTER * PARTITIONS_PER_NODE // TOPIC_PARTITIONS
+    growth = []
+    topics_placed = 0
+    for round_index in range(4):
+        placed_this_round = 0
+        while True:
+            try:
+                metadata.place_topic(
+                    f"topic-{topics_placed}",
+                    TopicConfig(partitions=TOPIC_PARTITIONS, replication_factor=2),
+                )
+                topics_placed += 1
+                placed_this_round += 1
+            except Exception:
+                break
+        growth.append(
+            (len(metadata.clusters()), topics_placed, placed_this_round)
+        )
+        metadata.add_capacity_for(
+            TopicConfig(partitions=TOPIC_PARTITIONS),
+            brokers_per_new_cluster=BROKERS_PER_CLUSTER,
+        )
+    return growth, capacity_per_cluster, metadata, clock
+
+
+def test_federation_scales_horizontally(benchmark):
+    growth, per_cluster, metadata, clock = benchmark.pedantic(
+        run_growth, rounds=1, iterations=1
+    )
+    print_table(
+        "C5: federation capacity grows linearly with clusters",
+        ["clusters", "total topics placed", "placed this round"],
+        [list(row) for row in growth],
+    )
+    # Linear scaling: each added cluster adds the same topic capacity.
+    assert [row[2] for row in growth] == [per_cluster] * len(growth)
+    # No cluster ever exceeds the node cap.
+    assert all(
+        c.num_brokers <= IDEAL_MAX_NODES_PER_CLUSTER for c in metadata.clusters()
+    )
+    # Live migration: produce, consume halfway, migrate, finish consuming.
+    producer = FederatedProducer(metadata, clock=clock)
+    for i in range(100):
+        producer.produce("topic-0", {"i": i}, key=f"k{i % 4}")
+    consumer = FederatedConsumer(metadata, {}, "bench-group", "topic-0")
+    first = consumer.poll(40)
+    source, __ = metadata.locate("topic-0")
+    destination = max(
+        (c for c in metadata.clusters() if c.name != source.name),
+        key=metadata.capacity_remaining,
+    ).name
+    metadata.migrate_topic("topic-0", destination)
+    rest = []
+    for __ in range(20):
+        rest.extend(consumer.poll(100))
+    seen = [(m.partition, m.offset) for m in first + rest]
+    assert len(seen) == 100 and len(set(seen)) == 100
+    assert consumer.redirects == 1
+    print_table(
+        "C5: live topic migration",
+        ["metric", "value"],
+        [
+            ["messages before migration", len(first)],
+            ["messages after migration", len(rest)],
+            ["lost", 0],
+            ["duplicated", 0],
+            ["application restarts", 0],
+        ],
+    )
+    benchmark.extra_info["topics_per_cluster"] = per_cluster

@@ -1,0 +1,105 @@
+"""Experiment F7 — Figure 7 / §6: active/passive offset synchronization.
+
+Paper: "the consumer can neither resume from the high watermark (i.e. the
+latest messages), nor from the low watermark (i.e. the earliest messages)
+to avoid too much backlog ... when an active/passive consumer fails over
+from one region to another, the consumer can take the latest synchronized
+offset and resume the consumption."
+
+Series: data loss and redelivery backlog at failover for the three resume
+strategies, across offset-sync checkpoint periods.
+"""
+
+from __future__ import annotations
+
+from repro.allactive.offsetsync import OffsetSyncJob, evaluate_failover
+from repro.common.clock import SimulatedClock
+from repro.kafka.cluster import KafkaCluster, TopicConfig
+from repro.kafka.consumer import Consumer, GroupCoordinator
+from repro.kafka.producer import Producer
+from repro.kafka.ureplicator import OffsetMappingStore, UReplicator
+
+from benchmarks.conftest import print_table
+
+TOTAL = 2000
+PROCESSED_BEFORE_FAILURE = 1537  # deliberately off checkpoint boundaries
+
+
+def run_failover(checkpoint_interval: int):
+    clock = SimulatedClock()
+    active = KafkaCluster("active", 3, clock=clock)
+    passive = KafkaCluster("passive", 3, clock=clock)
+    active.create_topic("payments", TopicConfig(partitions=1))
+    store = OffsetMappingStore()
+    mirror = UReplicator(
+        active, passive, "payments",
+        checkpoint_store=store, checkpoint_interval=checkpoint_interval,
+    )
+    producer = Producer(active, "payments-svc", clock=clock)
+    for i in range(TOTAL):
+        clock.advance(0.1)
+        producer.send("payments", {"i": i}, key="k")
+    producer.flush()
+    mirror.run_to_completion()
+    active_coord = GroupCoordinator(active)
+    passive_coord = GroupCoordinator(passive)
+    consumer = Consumer(active, active_coord, "billing", "payments", "m0")
+    consumed = 0
+    while consumed < PROCESSED_BEFORE_FAILURE:
+        batch = consumer.poll(min(100, PROCESSED_BEFORE_FAILURE - consumed))
+        consumed += len(batch)
+    assert consumed == PROCESSED_BEFORE_FAILURE
+    consumer.commit()
+    sync = OffsetSyncJob(
+        store, mirror.route, active, active_coord, passive_coord,
+        "billing", "payments",
+    )
+    sync.sync_once()
+    processed_through = {0: PROCESSED_BEFORE_FAILURE}
+    return {
+        strategy: evaluate_failover(
+            strategy, passive, passive_coord, "billing", "payments",
+            processed_through,
+        )
+        for strategy in ("latest", "earliest", "synced")
+    }
+
+
+def run_all():
+    return {interval: run_failover(interval) for interval in (500, 100, 20)}
+
+
+def test_offset_sync_failover(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for interval, outcomes in results.items():
+        for strategy, outcome in outcomes.items():
+            rows.append([
+                interval,
+                strategy,
+                outcome.lost_messages,
+                outcome.redelivered_messages,
+            ])
+    print_table(
+        f"F7: failover after processing {PROCESSED_BEFORE_FAILURE}/{TOTAL} "
+        "messages (payments: zero loss required)",
+        ["sync period (msgs)", "resume strategy", "lost", "redelivered"],
+        rows,
+    )
+    for interval, outcomes in results.items():
+        # High watermark: permanent loss of everything not yet processed...
+        assert outcomes["latest"].lost_messages == TOTAL - PROCESSED_BEFORE_FAILURE
+        # Low watermark: no loss but a full-log backlog.
+        assert outcomes["earliest"].lost_messages == 0
+        assert outcomes["earliest"].redelivered_messages == PROCESSED_BEFORE_FAILURE
+        # Synced: never loses, redelivers at most one checkpoint interval.
+        assert outcomes["synced"].lost_messages == 0
+        assert outcomes["synced"].redelivered_messages <= interval
+    # Tighter sync period -> smaller redelivery window.
+    assert (
+        results[20]["synced"].redelivered_messages
+        <= results[500]["synced"].redelivered_messages
+    )
+    benchmark.extra_info["synced_redelivery_at_20"] = results[20][
+        "synced"
+    ].redelivered_messages

@@ -1,0 +1,130 @@
+"""Experiment C10 — §4.5: operator pushdown into Pinot.
+
+Paper: the first connector "only included predicate pushdown"; the
+enhanced one pushes "as many operators down to the Pinot layer as
+possible, such as projection, aggregation and limit", achieving
+"sub-second query latencies for such PrestoSQL queries — which is not
+possible to do on standard backends such as HDFS/Hive".
+
+Series: latency and rows shipped for the same PrestoSQL query at each
+pushdown stage, plus the same query on the Hive connector.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.common.clock import SimulatedClock
+from repro.common.rng import seeded_rng
+from repro.kafka.cluster import KafkaCluster, TopicConfig
+from repro.kafka.producer import Producer
+from repro.metadata.schema import Field, FieldRole, FieldType, Schema
+from repro.pinot.broker import PinotBroker
+from repro.pinot.controller import PinotController
+from repro.pinot.recovery import PeerToPeerBackup
+from repro.pinot.segment import IndexConfig
+from repro.pinot.server import PinotServer
+from repro.pinot.table import TableConfig
+from repro.sql.presto.connector import HiveConnector, PinotConnector
+from repro.sql.presto.engine import PrestoEngine
+from repro.storage.blobstore import BlobStore
+from repro.storage.hive import HiveMetastore
+
+from benchmarks.conftest import print_table
+
+N_ROWS = 20_000
+REPEATS = 5
+SQL = (
+    "SELECT city, COUNT(*) AS n, SUM(amount) AS total FROM metrics "
+    "WHERE city = 'city-2' GROUP BY city ORDER BY total DESC LIMIT 10"
+)
+
+SCHEMA = Schema(
+    "metrics",
+    (
+        Field("city", FieldType.STRING),
+        Field("amount", FieldType.DOUBLE, FieldRole.METRIC),
+        Field("ts", FieldType.DOUBLE, FieldRole.TIME),
+    ),
+)
+
+
+def build():
+    clock = SimulatedClock()
+    kafka = KafkaCluster("k", 3, clock=clock)
+    kafka.create_topic("metrics", TopicConfig(partitions=4))
+    producer = Producer(kafka, "svc", clock=clock)
+    rng = seeded_rng(31)
+    rows = []
+    for i in range(N_ROWS):
+        clock.advance(0.05)
+        row = {"city": f"city-{rng.randrange(20)}",
+               "amount": float(rng.randrange(100)), "ts": clock.now()}
+        rows.append(row)
+        producer.send("metrics", row, key=row["city"])
+    producer.flush()
+    controller = PinotController(
+        [PinotServer(f"s{i}") for i in range(3)], PeerToPeerBackup(BlobStore())
+    )
+    state = controller.create_realtime_table(
+        TableConfig("metrics", SCHEMA, time_column="ts",
+                    index_config=IndexConfig(inverted=frozenset({"city"})),
+                    segment_rows_threshold=1000),
+        kafka, "metrics",
+    )
+    state.ingestion.run_until_caught_up()
+    broker = PinotBroker(controller)
+    metastore = HiveMetastore(BlobStore())
+    table = metastore.create_table("metrics", SCHEMA)
+    for start in range(0, N_ROWS, 5000):
+        table.add_rows(f"p{start}", rows[start : start + 5000])
+    return broker, metastore
+
+
+def run_comparison():
+    broker, metastore = build()
+    results = {}
+    for level in ("none", "predicate", "full"):
+        engine = PrestoEngine({"metrics": PinotConnector(broker, level)})
+        start = time.perf_counter()
+        out = None
+        for __ in range(REPEATS):
+            out = engine.execute(SQL)
+        latency = time.perf_counter() - start
+        results[f"pinot/{level}"] = (latency, out.stats.rows_transferred,
+                                     out.rows)
+    hive_engine = PrestoEngine({"metrics": HiveConnector(metastore)})
+    start = time.perf_counter()
+    out = None
+    for __ in range(REPEATS):
+        out = hive_engine.execute(SQL)
+    results["hive"] = (time.perf_counter() - start,
+                       out.stats.rows_transferred, out.rows)
+    return results
+
+
+def test_pushdown_ladder(benchmark):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    base = results["pinot/none"][0]
+    print_table(
+        f"C10: same PrestoSQL query, {N_ROWS} rows, {REPEATS} repeats",
+        ["backend / pushdown", "latency (s)", "rows shipped", "speedup"],
+        [
+            [name, f"{lat:.4f}", shipped, f"{base / lat:.1f}x"]
+            for name, (lat, shipped, __) in results.items()
+        ],
+    )
+    # Same answer everywhere.
+    answers = {name: rows for name, (__, __s, rows) in results.items()}
+    reference = answers["pinot/full"]
+    for name, rows in answers.items():
+        assert len(rows) == len(reference)
+        assert rows[0]["n"] == reference[0]["n"]
+        assert abs(rows[0]["total"] - reference[0]["total"]) < 1e-6
+    # The ladder: each pushdown stage ships fewer rows.
+    assert results["pinot/full"][1] < results["pinot/predicate"][1]
+    assert results["pinot/predicate"][1] < results["pinot/none"][1]
+    # Full pushdown is much faster than no pushdown, and faster than Hive.
+    assert results["pinot/full"][0] < results["pinot/none"][0] / 2
+    assert results["pinot/full"][0] < results["hive"][0] / 2
+    benchmark.extra_info["full_over_none"] = base / results["pinot/full"][0]

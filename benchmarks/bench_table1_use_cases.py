@@ -1,0 +1,65 @@
+"""Experiment T1 — Table 1: components used by the example use cases.
+
+Builds all four Section 5 pipelines and regenerates the layer-usage matrix
+from their actual wiring (not hard-coded).  Expected matrix (the paper's):
+
+                Surge  RestMgr  PredMon  EatsOps
+    API           Y                Y
+    SQL                   Y        Y        Y
+    OLAP                  Y        Y        Y
+    Compute       Y       Y        Y        Y
+    Stream        Y       Y        Y        Y
+    Storage               Y        Y
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import SimulatedClock
+from repro.kafka.cluster import KafkaCluster, TopicConfig
+from repro.usecases.components import LAYERS, ComponentTrace, render_table
+from repro.usecases.eats_ops import EatsOpsAutomation
+from repro.usecases.prediction import PredictionMonitoring
+from repro.usecases.restaurant import RestaurantManager
+from repro.usecases.surge import MARKETPLACE_TOPIC, build_surge_job
+
+from benchmarks.conftest import pinot_stack, print_table
+
+PAPER_MATRIX = {
+    "Surge": {"API", "Compute", "Stream"},
+    "Restaurant Manager": {"SQL", "OLAP", "Compute", "Stream", "Storage"},
+    "Real-time Prediction Monitoring": set(LAYERS),
+    "Eats Ops Automation": {"SQL", "OLAP", "Compute", "Stream"},
+}
+
+
+def build_all_traces() -> list[ComponentTrace]:
+    clock = SimulatedClock()
+    kafka = KafkaCluster("t1", 3, clock=clock)
+    kafka.create_topic(MARKETPLACE_TOPIC, TopicConfig(partitions=2))
+    surge_trace = ComponentTrace("Surge")
+    build_surge_job(kafka, MARKETPLACE_TOPIC, "g", [], trace=surge_trace)
+    restaurant = RestaurantManager.deploy(kafka, pinot_stack())
+    prediction = PredictionMonitoring.deploy(
+        KafkaCluster("t1b", 3, clock=clock), pinot_stack()
+    )
+    prediction.trace.use_case = "Real-time Prediction Monitoring"
+    ops = EatsOpsAutomation.deploy(KafkaCluster("t1c", 3, clock=clock),
+                                   pinot_stack())
+    return [surge_trace, restaurant.trace, prediction.trace, ops.trace]
+
+
+def test_table1_matrix(benchmark):
+    traces = benchmark.pedantic(build_all_traces, rounds=1, iterations=1)
+    print()
+    print(render_table(traces))
+    measured = {t.use_case: t.used for t in traces}
+    assert measured == PAPER_MATRIX
+    benchmark.extra_info["matrix_matches_paper"] = True
+    print_table(
+        "Table 1 agreement",
+        ["use case", "layers (measured)", "matches paper"],
+        [
+            [name, ",".join(sorted(layers)), "yes"]
+            for name, layers in measured.items()
+        ],
+    )

@@ -1,0 +1,126 @@
+"""Experiment C8 — §4.3.1: Pinot upserts.
+
+Paper: "records can be updated during the real-time ingestion into the
+OLAP store ... we organize the input stream into multiple partitions by
+the primary key ... a shared-nothing solution ... better scalability,
+elimination of single point of failure."
+
+Series: correctness under a heavily skewed fare-correction stream
+(queries see exactly the latest version of every order), and ingestion
+scaling with server count (shared-nothing: throughput grows, no
+coordination bottleneck).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.common.clock import SimulatedClock
+from repro.common.rng import seeded_rng, zipf_sampler
+from repro.kafka.cluster import KafkaCluster, TopicConfig
+from repro.kafka.producer import Producer
+from repro.metadata.schema import Field, FieldRole, FieldType, Schema
+from repro.pinot.broker import PinotBroker
+from repro.pinot.controller import PinotController
+from repro.pinot.query import Aggregation, PinotQuery
+from repro.pinot.recovery import PeerToPeerBackup
+from repro.pinot.server import PinotServer
+from repro.pinot.table import TableConfig
+from repro.storage.blobstore import BlobStore
+
+from benchmarks.conftest import print_table
+
+SCHEMA = Schema(
+    "orders",
+    (
+        Field("order_id", FieldType.STRING),
+        Field("amount", FieldType.DOUBLE, FieldRole.METRIC),
+        Field("ts", FieldType.DOUBLE, FieldRole.TIME),
+    ),
+)
+
+N_EVENTS = 5000
+N_ORDERS = 400
+
+
+def run_workload(servers: int, partitions: int = 8):
+    clock = SimulatedClock()
+    kafka = KafkaCluster("k", 3, clock=clock)
+    kafka.create_topic("orders", TopicConfig(partitions=partitions))
+    controller = PinotController(
+        [PinotServer(f"s{i}") for i in range(servers)],
+        PeerToPeerBackup(BlobStore()),
+    )
+    state = controller.create_realtime_table(
+        TableConfig("orders", SCHEMA, time_column="ts",
+                    upsert_enabled=True, primary_key="order_id",
+                    replicas=min(2, servers),
+                    segment_rows_threshold=200),
+        kafka, "orders",
+    )
+    rng = seeded_rng(21)
+    pick = zipf_sampler(rng, N_ORDERS, skew=1.3)  # hot orders corrected often
+    producer = Producer(kafka, "svc", clock=clock)
+    truth: dict[str, float] = {}
+    for i in range(N_EVENTS):
+        clock.advance(0.2)
+        order = f"order-{pick()}"
+        amount = float(i)
+        truth[order] = amount
+        producer.send("orders", {"order_id": order, "amount": amount,
+                                 "ts": clock.now()}, key=order)
+    producer.flush()
+    start = time.perf_counter()
+    state.ingestion.run_until_caught_up()
+    ingest_wall = time.perf_counter() - start
+    broker = PinotBroker(controller)
+    count = broker.execute(
+        PinotQuery("orders", aggregations=[Aggregation("COUNT")])
+    ).rows[0]["count(*)"]
+    total = broker.execute(
+        PinotQuery("orders", aggregations=[Aggregation("SUM", "amount")])
+    ).rows[0]["sum(amount)"]
+    upserts = sum(
+        m.upserts
+        for server in controller.servers
+        for m in server.upsert_managers.values()
+    )
+    return {
+        "truth_keys": len(truth),
+        "truth_total": sum(truth.values()),
+        "count": count,
+        "total": total,
+        "upserts": upserts,
+        "ingest_wall": ingest_wall,
+    }
+
+
+def run_all():
+    return {servers: run_workload(servers) for servers in (1, 2, 4)}
+
+
+def test_upsert_correctness_and_scaling(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        f"C8: {N_EVENTS} events over {N_ORDERS} order ids (Zipf corrections)",
+        ["servers", "visible rows", "distinct orders", "sum correct",
+         "upserts applied", "ingest wall (s)"],
+        [
+            [
+                servers,
+                r["count"],
+                r["truth_keys"],
+                "yes" if abs(r["total"] - r["truth_total"]) < 1e-6 else "NO",
+                r["upserts"],
+                f"{r['ingest_wall']:.3f}",
+            ]
+            for servers, r in results.items()
+        ],
+    )
+    for r in results.values():
+        # Read-your-latest: exactly one visible row per order id and the
+        # SUM reflects only latest versions.
+        assert r["count"] == r["truth_keys"]
+        assert abs(r["total"] - r["truth_total"]) < 1e-6
+        assert r["upserts"] == N_EVENTS - r["truth_keys"]
+    benchmark.extra_info["events"] = N_EVENTS

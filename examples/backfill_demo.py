@@ -1,0 +1,132 @@
+"""Backfill three ways: Kappa+, classic Kappa, Lambda (Section 7).
+
+A week of order data is archived from Kafka into Hive, but Kafka retention
+only covers the last day.  A bug fix requires reprocessing the full week
+with the same streaming logic:
+
+* classic Kappa replays the Kafka log — and silently misses everything
+  retention already expired;
+* Lambda maintains a second, batch implementation — which here contains a
+  subtle drift bug (it forgot the status filter);
+* Kappa+ runs the *streaming* pipeline directly over the Hive archive,
+  with throttling and wide watermark slack for out-of-order files.
+
+Run:  python examples/backfill_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.backfill import KappaPlusRunner, kappa_replay, lambda_batch
+from repro.common import SimulatedClock
+from repro.flink.windows import SumAggregate, TumblingWindows
+from repro.kafka import KafkaCluster, Producer, TopicConfig
+from repro.metadata import Field, FieldRole, FieldType, Schema
+from repro.storage import BlobStore, HiveMetastore, RawLogArchiver, compact_to_hive
+from repro.workloads import EatsWorkload
+
+DAY = 86_400.0
+WEEK = 7 * DAY
+
+
+def streaming_pipeline(stream):
+    """The production logic: daily revenue of delivered orders."""
+    return (
+        stream.filter(lambda row: row["status"] == "delivered")
+        .key_by(lambda row: row["restaurant_id"])
+        .window(TumblingWindows(DAY))
+        .aggregate(SumAggregate(lambda row: row["amount"]))
+    )
+
+
+def main() -> None:
+    clock = SimulatedClock()
+    kafka = KafkaCluster("orders", num_brokers=3, clock=clock)
+    # Retention: one day only (the paper: "we limit Kafka retention to
+    # only a few days").
+    kafka.create_topic(
+        "orders", TopicConfig(partitions=4, retention_seconds=DAY)
+    )
+    producer = Producer(kafka, service_name="orders", clock=clock)
+    archiver = RawLogArchiver(BlobStore("rawlogs"), "orders")
+
+    workload = EatsWorkload(seed=9, orders_per_second=0.05)
+    events = sorted(workload.order_events(WEEK), key=lambda e: e[1])
+    from repro.common.records import Record, stamp_audit_headers
+
+    for row, arrival in events:
+        clock.run_until(max(clock.now(), arrival))
+        producer.send("orders", row, key=row["restaurant_id"],
+                      event_time=row["event_time"])
+        archiver.append(
+            stamp_audit_headers(
+                Record(row["restaurant_id"], row, row["event_time"]), "orders"
+            )
+        )
+    producer.flush()
+    archiver.flush()
+    kafka.apply_retention()
+    print(f"produced {len(events)} events over a stream-week; "
+          f"Kafka retains only the last day")
+
+    # Compact the raw archive into a Hive table.
+    schema = Schema(
+        "orders_hive",
+        tuple(
+            Field(name, ftype, role)
+            for name, ftype, role in [
+                ("order_id", FieldType.STRING, FieldRole.DIMENSION),
+                ("restaurant_id", FieldType.STRING, FieldRole.DIMENSION),
+                ("eater_id", FieldType.STRING, FieldRole.DIMENSION),
+                ("courier_id", FieldType.STRING, FieldRole.DIMENSION),
+                ("item", FieldType.STRING, FieldRole.DIMENSION),
+                ("hex_id", FieldType.STRING, FieldRole.DIMENSION),
+                ("status", FieldType.STRING, FieldRole.DIMENSION),
+                ("amount", FieldType.DOUBLE, FieldRole.METRIC),
+                ("event_time", FieldType.DOUBLE, FieldRole.TIME),
+            ]
+        ),
+    )
+    metastore = HiveMetastore(BlobStore("warehouse"))
+    table = metastore.create_table("orders_hive", schema)
+    compacted = compact_to_hive(
+        archiver, table, partition_of=lambda r: f"day={int(r.event_time // DAY)}"
+    )
+    print(f"compacted {compacted} rows into Hive partitions {table.partitions()}")
+
+    # 1. Classic Kappa: replay Kafka (misses expired data).
+    kappa_out: list = []
+    kappa_report = kappa_replay(
+        kafka, "orders", "event_time", 0.0, WEEK, streaming_pipeline, kappa_out
+    )
+    # 2. Lambda: a separate batch implementation (with a drift bug).
+    def buggy_batch(rows):
+        totals: dict[tuple, float] = {}
+        for row in rows:  # forgot: if row["status"] == "delivered"
+            key = (row["restaurant_id"], int(row["event_time"] // DAY))
+            totals[key] = totals.get(key, 0.0) + row["amount"]
+        return sorted(totals.items())
+
+    lambda_report = lambda_batch(table, "event_time", 0.0, WEEK, buggy_batch)
+
+    # 3. Kappa+: the same streaming code over Hive.
+    kplus_out: list = []
+    kplus_report = KappaPlusRunner(
+        table, "event_time", 0.0, WEEK, throttle_records_per_step=200
+    ).run(streaming_pipeline, kplus_out)
+
+    total = lambda results: sum(r.value for r in results)
+    print("\n                 rows read   outputs   total revenue")
+    print(f"kappa (replay):  {kappa_report.rows_read:9d}  {len(kappa_out):8d}"
+          f"   ${total(kappa_out):12.2f}   <- missing expired days")
+    print(f"lambda (batch):  {lambda_report.rows_read:9d}  "
+          f"{lambda_report.outputs:8d}   "
+          f"${sum(v for __, v in lambda_report.results):12.2f}"
+          f"   <- drift bug inflates revenue")
+    print(f"kappa+ (hive):   {kplus_report.rows_read:9d}  {len(kplus_out):8d}"
+          f"   ${total(kplus_out):12.2f}   <- complete & correct")
+    print(f"\nkappa+ peak buffered elements under throttling: "
+          f"{kplus_report.peak_buffered}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro: a laptop-scale reproduction of "Real-time Data Infrastructure at
+Uber" (Fu & Soman, SIGMOD 2021).
+
+The package mirrors the paper's Figure 2/Figure 3 architecture:
+
+* ``repro.kafka``    — streaming storage (+ federation, DLQ, consumer
+  proxy, uReplicator, Chaperone, self-serve admin)
+* ``repro.flink``    — stream processing (+ job server, autoscaler,
+  watchdog, Storm/Spark baselines)
+* ``repro.pinot``    — realtime OLAP (+ upserts, star-tree, peer-to-peer
+  segment recovery, ES/Druid baselines)
+* ``repro.storage``  — blob store, HDFS simulation, columnar files, Hive
+* ``repro.sql``      — the SQL dialect, FlinkSQL compiler, Presto engine
+* ``repro.metadata`` — schema registry, catalog, lineage
+* ``repro.allactive``— multi-region: all-active coordination, offset sync
+* ``repro.backfill`` — Kappa+, Kafka replay, Lambda baseline
+* ``repro.usecases`` — Section 5's four representative applications
+* ``repro.workloads``— seeded synthetic workload generators
+"""
+
+__version__ = "1.0.0"

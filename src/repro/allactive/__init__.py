@@ -1,0 +1,22 @@
+"""Multi-region strategy (Section 6): regions, all-active coordination,
+active/passive offset sync, and the active-active serving store."""
+
+from repro.allactive.coordinator import AllActiveCoordinator, UpdateService
+from repro.allactive.offsetsync import (
+    FailoverOutcome,
+    OffsetSyncJob,
+    evaluate_failover,
+)
+from repro.allactive.region import MultiRegionDeployment, Region
+from repro.allactive.replicated_db import ReplicatedKV
+
+__all__ = [
+    "AllActiveCoordinator",
+    "UpdateService",
+    "FailoverOutcome",
+    "OffsetSyncJob",
+    "evaluate_failover",
+    "MultiRegionDeployment",
+    "Region",
+    "ReplicatedKV",
+]

@@ -1,0 +1,90 @@
+"""The all-active coordinating service (Section 6, Figure 6).
+
+"Each region has an instance of 'update service' and one of them is
+labelled as primary by an all-active coordinating service.  ...  When
+disaster strikes the primary region, the active-active service assigns
+another region to be the primary."
+
+The coordinator elects a primary among healthy regions; update services
+gate their writes on holding the primary label, so exactly one region's
+(redundantly computed) results reach the serving store.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import NoHealthyRegionError
+from repro.allactive.region import MultiRegionDeployment
+
+
+class AllActiveCoordinator:
+    def __init__(self, deployment: MultiRegionDeployment) -> None:
+        self.deployment = deployment
+        self._primary: str | None = None
+        self.failovers = 0
+        self._listeners: list[Callable[[str], None]] = []
+        self.elect()
+
+    @property
+    def primary(self) -> str:
+        if self._primary is None:
+            raise NoHealthyRegionError("no primary region elected")
+        return self._primary
+
+    def is_primary(self, region_name: str) -> bool:
+        return self._primary == region_name
+
+    def on_failover(self, listener: Callable[[str], None]) -> None:
+        """Register a callback invoked with the new primary's name."""
+        self._listeners.append(listener)
+
+    def elect(self) -> str:
+        """(Re)elect: keep the current primary if healthy, else the first
+        healthy region in name order."""
+        current = self._primary
+        if current is not None and self.deployment.region(current).healthy:
+            return current
+        healthy = sorted(r.name for r in self.deployment.healthy_regions())
+        if not healthy:
+            raise NoHealthyRegionError("every region is unhealthy")
+        self._primary = healthy[0]
+        if current is not None:
+            self.failovers += 1
+            for listener in self._listeners:
+                listener(self._primary)
+        return self._primary
+
+    def fail_region(self, name: str) -> str:
+        """Mark a region down; returns the (possibly new) primary."""
+        self.deployment.fail_region(name)
+        return self.elect()
+
+    def recover_region(self, name: str) -> None:
+        self.deployment.recover_region(name)
+
+
+class UpdateService:
+    """Per-region writer that only publishes while its region is primary
+    (the 'update service' boxes of Figure 6)."""
+
+    def __init__(
+        self,
+        region_name: str,
+        coordinator: AllActiveCoordinator,
+        sink,  # ReplicatedKV
+    ) -> None:
+        self.region_name = region_name
+        self.coordinator = coordinator
+        self.sink = sink
+        self.published = 0
+        self.suppressed = 0
+
+    def publish(self, key, value, timestamp: float) -> bool:
+        """Write to the serving store iff this region is primary."""
+        if not self.coordinator.is_primary(self.region_name):
+            self.suppressed += 1
+            return False
+        self.sink.put(self.region_name, key, value, timestamp)
+        self.published += 1
+        return True

@@ -1,0 +1,15 @@
+"""Backfill (Section 7): Kappa+ over Hive, Kafka replay, Lambda baseline.
+
+The SQL-based backfill path lives in
+:meth:`repro.sql.flinksql.FlinkSqlCompiler.compile_batch` — the same query
+compiles to a streaming or a batch job.
+"""
+
+from repro.backfill.kappa_plus import (
+    BackfillReport,
+    KappaPlusRunner,
+    kappa_replay,
+    lambda_batch,
+)
+
+__all__ = ["BackfillReport", "KappaPlusRunner", "kappa_replay", "lambda_batch"]

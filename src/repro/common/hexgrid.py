@@ -1,0 +1,124 @@
+"""Hexagonal geofence grid (H3-flavoured) used by surge pricing.
+
+Uber's surge pricing computes demand/supply per hexagon-area geofence
+(Section 5.1).  We model a flat-top axial hex grid over a local tangent
+plane: latitude/longitude are projected to planar metres around a city
+center, then bucketed into hexagons of a configurable edge length.
+
+This is a simulation-grade stand-in for the H3 library: cells are stable,
+neighbours are exact, and ring queries work — which is everything the surge
+pipeline needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+_EARTH_RADIUS_M = 6_371_000.0
+
+# Axial direction vectors for the six neighbours of a hex cell.
+_NEIGHBOR_DIRECTIONS = ((1, 0), (1, -1), (0, -1), (-1, 0), (-1, 1), (0, 1))
+
+
+@dataclass(frozen=True, slots=True)
+class HexCell:
+    """Axial coordinates of one hexagon."""
+
+    q: int
+    r: int
+
+    def cell_id(self) -> str:
+        return f"hex_{self.q}_{self.r}"
+
+
+class HexGrid:
+    """Maps geographic points to hex cells around a reference origin."""
+
+    def __init__(
+        self,
+        origin_lat: float,
+        origin_lon: float,
+        edge_length_m: float = 500.0,
+    ) -> None:
+        if edge_length_m <= 0:
+            raise ValueError(f"edge length must be positive, got {edge_length_m}")
+        self.origin_lat = origin_lat
+        self.origin_lon = origin_lon
+        self.edge_length_m = edge_length_m
+
+    def _project(self, lat: float, lon: float) -> tuple[float, float]:
+        """Equirectangular projection to metres relative to the origin."""
+        x = (
+            math.radians(lon - self.origin_lon)
+            * _EARTH_RADIUS_M
+            * math.cos(math.radians(self.origin_lat))
+        )
+        y = math.radians(lat - self.origin_lat) * _EARTH_RADIUS_M
+        return x, y
+
+    def cell_for(self, lat: float, lon: float) -> HexCell:
+        """The hex cell containing a geographic point."""
+        x, y = self._project(lat, lon)
+        size = self.edge_length_m
+        # Pointy-top axial conversion followed by cube rounding.
+        qf = (math.sqrt(3.0) / 3.0 * x - 1.0 / 3.0 * y) / size
+        rf = (2.0 / 3.0 * y) / size
+        return _cube_round(qf, rf)
+
+    def cell_center(self, cell: HexCell) -> tuple[float, float]:
+        """Approximate (lat, lon) of a cell center — for dashboards."""
+        size = self.edge_length_m
+        x = size * math.sqrt(3.0) * (cell.q + cell.r / 2.0)
+        y = size * (3.0 / 2.0) * cell.r
+        lat = self.origin_lat + math.degrees(y / _EARTH_RADIUS_M)
+        lon = self.origin_lon + math.degrees(
+            x / (_EARTH_RADIUS_M * math.cos(math.radians(self.origin_lat)))
+        )
+        return lat, lon
+
+
+def _cube_round(qf: float, rf: float) -> HexCell:
+    sf = -qf - rf
+    q = round(qf)
+    r = round(rf)
+    s = round(sf)
+    dq = abs(q - qf)
+    dr = abs(r - rf)
+    ds = abs(s - sf)
+    if dq > dr and dq > ds:
+        q = -r - s
+    elif dr > ds:
+        r = -q - s
+    return HexCell(int(q), int(r))
+
+
+def neighbors(cell: HexCell) -> list[HexCell]:
+    """The six adjacent cells."""
+    return [HexCell(cell.q + dq, cell.r + dr) for dq, dr in _NEIGHBOR_DIRECTIONS]
+
+
+def ring(cell: HexCell, radius: int) -> list[HexCell]:
+    """All cells at exactly ``radius`` hops (radius 0 -> the cell itself)."""
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    if radius == 0:
+        return [cell]
+    results: list[HexCell] = []
+    q = cell.q + _NEIGHBOR_DIRECTIONS[4][0] * radius
+    r = cell.r + _NEIGHBOR_DIRECTIONS[4][1] * radius
+    for direction in range(6):
+        for __ in range(radius):
+            results.append(HexCell(q, r))
+            dq, dr = _NEIGHBOR_DIRECTIONS[direction]
+            q += dq
+            r += dr
+    return results
+
+
+def disk(cell: HexCell, radius: int) -> list[HexCell]:
+    """All cells within ``radius`` hops, including the cell itself."""
+    cells: list[HexCell] = []
+    for k in range(radius + 1):
+        cells.extend(ring(cell, k))
+    return cells

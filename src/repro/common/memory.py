@@ -1,0 +1,60 @@
+"""Deep memory-footprint estimation.
+
+The paper's memory claims (Spark 5-10x Flink for the same streaming job,
+Elasticsearch 4x Pinot for the same rows) are reproduced by measuring the
+actual retained bytes of our Python data structures, not synthetic
+constants.  ``deep_sizeof`` walks an object graph once, counting every
+distinct object via ``sys.getsizeof``.
+"""
+
+from __future__ import annotations
+
+import sys
+import types
+from collections import deque
+from typing import Any
+
+_SKIP_TYPES = (
+    type,
+    types.ModuleType,
+    types.FunctionType,
+    types.BuiltinFunctionType,
+    types.MethodType,
+)
+
+
+def deep_sizeof(root: Any) -> int:
+    """Total bytes retained by ``root``, counting shared objects once.
+
+    Walks dicts, lists, tuples, sets, deques and object ``__dict__`` /
+    ``__slots__``.  Class objects, modules and functions are skipped so a
+    data structure's size is not polluted by code objects it references.
+    """
+    seen: set[int] = set()
+    stack: list[Any] = [root]
+    total = 0
+    while stack:
+        obj = stack.pop()
+        oid = id(obj)
+        if oid in seen:
+            continue
+        seen.add(oid)
+        if isinstance(obj, _SKIP_TYPES):
+            continue
+        total += sys.getsizeof(obj)
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set, frozenset, deque)):
+            stack.extend(obj)
+        else:
+            attrs = getattr(obj, "__dict__", None)
+            if attrs is not None:
+                stack.append(attrs)
+            slots = getattr(type(obj), "__slots__", ())
+            if isinstance(slots, str):
+                slots = (slots,)
+            for slot in slots:
+                if hasattr(obj, slot):
+                    stack.append(getattr(obj, slot))
+    return total

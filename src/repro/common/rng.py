@@ -1,0 +1,51 @@
+"""Seeded randomness helpers.
+
+All workload generators and failure injectors derive their RNG from here so
+an experiment is fully reproducible from a single seed.  Sub-streams are
+derived by hashing the parent seed with a label, which keeps generators
+independent of each other's consumption order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def seeded_rng(seed: int, label: str = "") -> random.Random:
+    """An independent RNG stream derived from (seed, label)."""
+    digest = hashlib.sha256(f"{seed}:{label}".encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def zipf_sampler(rng: random.Random, n: int, skew: float = 1.0):
+    """Return a callable sampling ints in [0, n) with a Zipf distribution.
+
+    Used for hot-key workloads (upsert fare corrections, popular
+    restaurants).  ``skew=0`` degenerates to uniform.
+    """
+    if n <= 0:
+        raise ValueError(f"population must be positive, got {n}")
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    weights = [1.0 / (rank + 1) ** skew for rank in range(n)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+
+    def sample() -> int:
+        x = rng.random()
+        # Binary search over the cumulative distribution.
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    return sample

@@ -1,0 +1,166 @@
+"""Compact binary serialization ("Avro-like") for size accounting.
+
+The paper's footprint comparisons (Pinot vs Elasticsearch disk usage, Kafka
+log size) only make sense if data has a realistic on-disk representation.
+This module provides a small, dependency-free binary format with the same
+flavour as Avro: varint-length-prefixed fields, compact encodings for ints,
+floats, strings, lists and maps.
+
+The format is self-describing via one type tag byte per value, which is
+close enough to Avro-with-embedded-reader-schema for footprint purposes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.common.errors import SerdeError
+
+_TAG_NONE = 0
+_TAG_FALSE = 1
+_TAG_TRUE = 2
+_TAG_INT = 3
+_TAG_FLOAT = 4
+_TAG_STR = 5
+_TAG_BYTES = 6
+_TAG_LIST = 7
+_TAG_MAP = 8
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint."""
+    if value < 0:
+        raise SerdeError(f"varint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise SerdeError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+def _encode_into(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif isinstance(value, int):
+        out.append(_TAG_INT)
+        _write_varint(out, _zigzag(value))
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT)
+        out.extend(struct.pack("<d", value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_TAG_STR)
+        _write_varint(out, len(raw))
+        out.extend(raw)
+    elif isinstance(value, bytes):
+        out.append(_TAG_BYTES)
+        _write_varint(out, len(value))
+        out.extend(value)
+    elif isinstance(value, (list, tuple)):
+        out.append(_TAG_LIST)
+        _write_varint(out, len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif isinstance(value, dict):
+        out.append(_TAG_MAP)
+        _write_varint(out, len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SerdeError(f"map keys must be str, got {type(key).__name__}")
+            _encode_into(out, key)
+            _encode_into(out, item)
+    else:
+        raise SerdeError(f"cannot serialize {type(value).__name__}")
+
+
+def encode(value: Any) -> bytes:
+    """Serialize a JSON-like value to compact bytes."""
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
+
+
+def _decode_from(data: bytes, pos: int) -> tuple[Any, int]:
+    if pos >= len(data):
+        raise SerdeError("truncated value")
+    tag = data[pos]
+    pos += 1
+    if tag == _TAG_NONE:
+        return None, pos
+    if tag == _TAG_FALSE:
+        return False, pos
+    if tag == _TAG_TRUE:
+        return True, pos
+    if tag == _TAG_INT:
+        raw, pos = _read_varint(data, pos)
+        return _unzigzag(raw), pos
+    if tag == _TAG_FLOAT:
+        if pos + 8 > len(data):
+            raise SerdeError("truncated float")
+        return struct.unpack_from("<d", data, pos)[0], pos + 8
+    if tag in (_TAG_STR, _TAG_BYTES):
+        length, pos = _read_varint(data, pos)
+        if pos + length > len(data):
+            raise SerdeError("truncated string/bytes")
+        raw = data[pos : pos + length]
+        pos += length
+        return (raw.decode("utf-8") if tag == _TAG_STR else bytes(raw)), pos
+    if tag == _TAG_LIST:
+        length, pos = _read_varint(data, pos)
+        items = []
+        for __ in range(length):
+            item, pos = _decode_from(data, pos)
+            items.append(item)
+        return items, pos
+    if tag == _TAG_MAP:
+        length, pos = _read_varint(data, pos)
+        result: dict[str, Any] = {}
+        for __ in range(length):
+            key, pos = _decode_from(data, pos)
+            value, pos = _decode_from(data, pos)
+            result[key] = value
+        return result, pos
+    raise SerdeError(f"unknown type tag {tag}")
+
+
+def decode(data: bytes) -> Any:
+    """Deserialize bytes produced by :func:`encode`."""
+    value, pos = _decode_from(data, 0)
+    if pos != len(data):
+        raise SerdeError(f"{len(data) - pos} trailing bytes after value")
+    return value
+
+
+def encoded_size(value: Any) -> int:
+    """Serialized size in bytes without keeping the buffer around."""
+    return len(encode(value))

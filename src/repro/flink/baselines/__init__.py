@@ -1,0 +1,17 @@
+"""Baseline engines the paper compares Flink against (Section 4.2)."""
+
+from repro.flink.baselines.backlog import (
+    RecoveryResult,
+    recovery_comparison,
+    simulate_flink_recovery,
+    simulate_storm_recovery,
+)
+from repro.flink.baselines.spark import MicroBatchEngine
+
+__all__ = [
+    "RecoveryResult",
+    "recovery_comparison",
+    "simulate_flink_recovery",
+    "simulate_storm_recovery",
+    "MicroBatchEngine",
+]

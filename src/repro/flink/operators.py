@@ -1,0 +1,487 @@
+"""Operator implementations: sources, transforms, windows, joins, sinks.
+
+Each operator follows a small contract used by the runtime:
+
+* ``process(record, input_index) -> list[StreamElement]``
+* ``on_watermark(watermark) -> list[StreamElement]`` (fire timers/windows)
+* ``snapshot() -> bytes`` / ``restore(bytes)`` for checkpointing
+
+Window and join operators keep their contents in a
+:class:`~repro.flink.state.KeyedStateBackend`, so their state is
+checkpointable and measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.common import serde
+from repro.common.errors import OperatorError
+from repro.common.records import Record
+from repro.flink.state import KeyedStateBackend
+from repro.flink.time import (
+    BoundedOutOfOrdernessWatermarks,
+    StreamRecord,
+    StreamStatus,
+    Watermark,
+)
+from repro.flink.windows import (
+    AggregateFunction,
+    TimeWindow,
+    WindowAssigner,
+    WindowResult,
+)
+
+
+class Operator:
+    """Base class; stateless pass-through."""
+
+    def __init__(self) -> None:
+        self.state = KeyedStateBackend()
+
+    def process(self, record: StreamRecord, input_index: int = 0) -> list[Any]:
+        raise NotImplementedError
+
+    def on_watermark(self, watermark: Watermark) -> list[Any]:
+        return []
+
+    def snapshot(self) -> bytes:
+        return self.state.snapshot()
+
+    def restore(self, data: bytes) -> None:
+        self.state.restore(data)
+
+
+class MapOperator(Operator):
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
+        super().__init__()
+        self.fn = fn
+
+    def process(self, record: StreamRecord, input_index: int = 0) -> list[Any]:
+        try:
+            return [record.with_value(self.fn(record.value))]
+        except Exception as exc:
+            raise OperatorError(f"map function failed: {exc}") from exc
+
+
+class FilterOperator(Operator):
+    def __init__(self, fn: Callable[[Any], bool]) -> None:
+        super().__init__()
+        self.fn = fn
+
+    def process(self, record: StreamRecord, input_index: int = 0) -> list[Any]:
+        try:
+            return [record] if self.fn(record.value) else []
+        except Exception as exc:
+            raise OperatorError(f"filter function failed: {exc}") from exc
+
+
+class FlatMapOperator(Operator):
+    def __init__(self, fn: Callable[[Any], list[Any]]) -> None:
+        super().__init__()
+        self.fn = fn
+
+    def process(self, record: StreamRecord, input_index: int = 0) -> list[Any]:
+        try:
+            return [record.with_value(v) for v in self.fn(record.value)]
+        except Exception as exc:
+            raise OperatorError(f"flat_map function failed: {exc}") from exc
+
+
+class ProcessOperator(Operator):
+    """Escape hatch: ``fn(record, state, emit)`` with keyed state access."""
+
+    def __init__(self, fn: Callable) -> None:
+        super().__init__()
+        self.fn = fn
+
+    def process(self, record: StreamRecord, input_index: int = 0) -> list[Any]:
+        out: list[StreamRecord] = []
+
+        def emit(value: Any, key: Any = None) -> None:
+            out.append(StreamRecord(value, record.timestamp, key))
+
+        try:
+            self.fn(record, self.state, emit)
+        except Exception as exc:
+            raise OperatorError(f"process function failed: {exc}") from exc
+        return out
+
+
+class WindowOperator(Operator):
+    """Keyed event-time windows with incremental aggregation.
+
+    State layout (all serde-plain):
+
+    * ``"acc"``: (key, start, end) -> accumulator
+    * session windows merge eagerly on insert.
+
+    Late elements — those whose every assigned window has already fired
+    (watermark >= window end + allowed lateness) — are dropped and counted,
+    matching the surge-pricing policy that "late-arriving messages do not
+    contribute" (Section 5.1).
+    """
+
+    def __init__(
+        self,
+        assigner: WindowAssigner,
+        aggregator: AggregateFunction,
+        allowed_lateness: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.assigner = assigner
+        self.aggregator = aggregator
+        self.allowed_lateness = allowed_lateness
+        self.current_watermark = float("-inf")
+        self.late_dropped = 0
+
+    def process(self, record: StreamRecord, input_index: int = 0) -> list[Any]:
+        key = record.key
+        windows = self.assigner.assign(record.timestamp)
+        if self.assigner.is_session():
+            self._add_to_session(key, windows[0], record.value)
+            return []
+        live = [
+            w
+            for w in windows
+            if w.end + self.allowed_lateness > self.current_watermark
+        ]
+        if not live:
+            self.late_dropped += 1
+            return []
+        for window in live:
+            state_key = (key, window.start, window.end)
+            acc = self.state.get("acc", state_key)
+            if acc is None:
+                acc = self.aggregator.create_accumulator()
+            self.state.put("acc", state_key, self.aggregator.add(record.value, acc))
+        return []
+
+    def _add_to_session(self, key: Any, window: TimeWindow, value: Any) -> None:
+        """Insert into session state, merging overlapping sessions."""
+        acc = self.aggregator.add(value, self.aggregator.create_accumulator())
+        start, end = window.start, window.end
+        merged = True
+        while merged:
+            merged = False
+            for state_key, existing in self.state.items("acc"):
+                k, s, e = state_key
+                if k != key:
+                    continue
+                if s <= end and start <= e:  # overlap -> merge
+                    acc = self.aggregator.merge(acc, existing)
+                    start, end = min(start, s), max(end, e)
+                    self.state.remove("acc", state_key)
+                    merged = True
+                    break
+        self.state.put("acc", (key, start, end), acc)
+
+    def on_watermark(self, watermark: Watermark) -> list[Any]:
+        self.current_watermark = max(self.current_watermark, watermark.timestamp)
+        fired: list[StreamRecord] = []
+        for state_key, acc in sorted(self.state.items("acc"), key=lambda kv: kv[0][2]):
+            key, start, end = state_key
+            if end + self.allowed_lateness <= self.current_watermark:
+                result = WindowResult(
+                    key=key,
+                    window=TimeWindow(start, end),
+                    value=self.aggregator.get_result(acc),
+                )
+                # Results are timestamped at window end, Flink-style.
+                fired.append(StreamRecord(result, end, key))
+                self.state.remove("acc", state_key)
+        return fired
+
+    def snapshot(self) -> bytes:
+        meta = {
+            "watermark": self.current_watermark
+            if self.current_watermark != float("-inf")
+            else None,
+            "late_dropped": self.late_dropped,
+        }
+        return serde.encode({"meta": meta, "state": self.state.snapshot()})
+
+    def restore(self, data: bytes) -> None:
+        payload = serde.decode(data)
+        meta = payload["meta"]
+        self.current_watermark = (
+            float("-inf") if meta["watermark"] is None else meta["watermark"]
+        )
+        self.late_dropped = meta["late_dropped"]
+        self.state.restore(payload["state"])
+
+
+class WindowJoinOperator(Operator):
+    """Two-input window join: emits ``join_fn(left, right)`` for every pair
+    sharing a key inside the same window (Section 5.3's prediction-to-
+    outcome join).  Buffers both sides until the window closes — which is
+    why the paper calls stream-stream joins "almost always memory bound"
+    (Section 4.2.1); the autoscaler uses the same signal.
+    """
+
+    def __init__(
+        self,
+        assigner: WindowAssigner,
+        join_fn: Callable[[Any, Any], Any],
+    ) -> None:
+        super().__init__()
+        self.assigner = assigner
+        self.join_fn = join_fn
+        self.current_watermark = float("-inf")
+        self.late_dropped = 0
+
+    def process(self, record: StreamRecord, input_index: int = 0) -> list[Any]:
+        side = "left" if input_index == 0 else "right"
+        out = []
+        for window in self.assigner.assign(record.timestamp):
+            if window.end <= self.current_watermark:
+                self.late_dropped += 1
+                continue
+            state_key = (record.key, window.start, window.end)
+            self.state.append(side, state_key, record.value)
+        return out
+
+    def on_watermark(self, watermark: Watermark) -> list[Any]:
+        self.current_watermark = max(self.current_watermark, watermark.timestamp)
+        fired: list[StreamRecord] = []
+        closed: set = set()
+        for state_key in self.state.keys("left"):
+            __, __, end = state_key
+            if end <= self.current_watermark:
+                closed.add(state_key)
+        for state_key in self.state.keys("right"):
+            __, __, end = state_key
+            if end <= self.current_watermark:
+                closed.add(state_key)
+        for state_key in sorted(closed, key=lambda k: (k[2], str(k[0]))):
+            key, start, end = state_key
+            lefts = self.state.get_list("left", state_key)
+            rights = self.state.get_list("right", state_key)
+            for left in lefts:
+                for right in rights:
+                    fired.append(
+                        StreamRecord(self.join_fn(left, right), end, key)
+                    )
+            self.state.remove("left", state_key)
+            self.state.remove("right", state_key)
+        return fired
+
+
+# --- sources ----------------------------------------------------------------
+
+
+class KafkaSource:
+    """Reads a topic; each subtask owns ``partition % parallelism`` slices.
+
+    Event timestamps default to the record's ``event_time``; a
+    ``timestamp_fn(value) -> float`` can override.  Watermarks use bounded
+    out-of-orderness.  Offsets are checkpoint state.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        topic: str,
+        group: str,
+        max_out_of_orderness: float = 0.0,
+        timestamp_fn: Callable | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.topic = topic
+        self.group = group
+        self.timestamp_fn = timestamp_fn
+        self.max_out_of_orderness = max_out_of_orderness
+
+    def create_reader(self, subtask: int, parallelism: int) -> "KafkaSourceReader":
+        partitions = [
+            p
+            for p in range(self.cluster.partition_count(self.topic))
+            if p % parallelism == subtask
+        ]
+        return KafkaSourceReader(self, partitions)
+
+
+IDLE_AFTER_EMPTY_POLLS = 2
+
+
+class KafkaSourceReader:
+    def __init__(self, source: KafkaSource, partitions: list[int]) -> None:
+        self.source = source
+        self.partitions = partitions
+        self.positions = {
+            p: source.cluster.start_offset(source.topic, p) for p in partitions
+        }
+        self.watermarks = BoundedOutOfOrdernessWatermarks(source.max_out_of_orderness)
+        self._emitted_watermark = float("-inf")
+        self._empty_polls = 0
+        self._idle = False
+
+    def poll(self, max_records: int = 100) -> list[Any]:
+        """Next batch of elements: StreamRecords plus a trailing Watermark
+        when event time advanced, plus idleness transitions."""
+        out: list[Any] = []
+        cluster, topic = self.source.cluster, self.source.topic
+        if not self.partitions:
+            # Subtask owns nothing; declare idle once so it never stalls
+            # the downstream watermark.
+            if not self._idle:
+                self._idle = True
+                return [StreamStatus(idle=True)]
+            return []
+        budget = max(1, max_records // len(self.partitions))
+        for partition in self.partitions:
+            entries = cluster.fetch(topic, partition, self.positions[partition], budget)
+            for entry in entries:
+                record: Record = entry.record
+                timestamp = (
+                    self.source.timestamp_fn(record.value)
+                    if self.source.timestamp_fn is not None
+                    else record.event_time
+                )
+                self.watermarks.on_event(timestamp)
+                out.append(StreamRecord(record.value, timestamp, record.key))
+                self.positions[partition] = entry.offset + 1
+        if not out:
+            self._empty_polls += 1
+            if self._empty_polls >= IDLE_AFTER_EMPTY_POLLS and not self._idle:
+                self._idle = True
+                return [StreamStatus(idle=True)]
+            return []
+        self._empty_polls = 0
+        if self._idle:
+            self._idle = False
+            out.insert(0, StreamStatus(idle=False))
+        watermark = self.watermarks.current_watermark()
+        if watermark > self._emitted_watermark:
+            self._emitted_watermark = watermark
+            out.append(Watermark(watermark))
+        return out
+
+    def lag(self) -> int:
+        cluster, topic = self.source.cluster, self.source.topic
+        return sum(
+            cluster.end_offset(topic, p) - self.positions[p] for p in self.partitions
+        )
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"positions": {str(p): off for p, off in self.positions.items()}}
+
+    def restore(self, data: dict[str, Any]) -> None:
+        for partition, offset in data["positions"].items():
+            self.positions[int(partition)] = offset
+
+
+class BoundedListSource:
+    """Source over a fixed list of (value, timestamp, key) — for tests and
+    the Kappa+ batch mode (bounded input, Section 7)."""
+
+    def __init__(
+        self,
+        elements: list[tuple[Any, float]] | list[tuple[Any, float, Any]],
+        max_out_of_orderness: float = 0.0,
+        batch_size: int = 100,
+    ) -> None:
+        self.elements = elements
+        self.max_out_of_orderness = max_out_of_orderness
+        self.batch_size = batch_size
+
+    def create_reader(self, subtask: int, parallelism: int) -> "BoundedListReader":
+        slice_ = self.elements[subtask::parallelism]
+        return BoundedListReader(self, slice_)
+
+
+class BoundedListReader:
+    def __init__(self, source: BoundedListSource, elements: list) -> None:
+        self.source = source
+        self.elements = elements
+        self.position = 0
+        self.watermarks = BoundedOutOfOrdernessWatermarks(source.max_out_of_orderness)
+        self._emitted_watermark = float("-inf")
+        self._final_sent = False
+
+    def poll(self, max_records: int = 100) -> list[Any]:
+        out: list[Any] = []
+        batch = self.elements[self.position : self.position + self.source.batch_size]
+        for element in batch:
+            value, timestamp, *rest = element
+            key = rest[0] if rest else None
+            self.watermarks.on_event(timestamp)
+            out.append(StreamRecord(value, timestamp, key))
+        self.position += len(batch)
+        if batch:
+            watermark = self.watermarks.current_watermark()
+            if watermark > self._emitted_watermark:
+                self._emitted_watermark = watermark
+                out.append(Watermark(watermark))
+        elif not self._final_sent:
+            # Bounded input exhausted: emit the +inf watermark so every
+            # window fires (the "end boundary" of Kappa+, Section 7).
+            self._final_sent = True
+            out.append(Watermark(float("inf")))
+        return out
+
+    def lag(self) -> int:
+        return len(self.elements) - self.position
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"position": self.position}
+
+    def restore(self, data: dict[str, Any]) -> None:
+        self.position = data["position"]
+
+
+# --- sinks ------------------------------------------------------------------
+
+
+@dataclass
+class CollectSink:
+    """Appends every result to a caller-provided list."""
+
+    collector: list
+
+    def write(self, record: StreamRecord) -> None:
+        self.collector.append(record.value)
+
+
+class KafkaSink:
+    """Produces results to a Kafka topic (FlinkSQL -> Pinot path, §4.3.3)."""
+
+    def __init__(self, cluster, topic: str, key_fn: Callable | None = None) -> None:
+        from repro.kafka.producer import Producer
+
+        self.cluster = cluster
+        self.topic = topic
+        self.key_fn = key_fn
+        self._producer = Producer(cluster, service_name=f"flink-sink-{topic}")
+
+    def write(self, record: StreamRecord) -> None:
+        key = self.key_fn(record.value) if self.key_fn is not None else record.key
+        value = record.value
+        if isinstance(value, WindowResult):
+            value = {
+                "key": value.key,
+                "window_start": value.window.start,
+                "window_end": value.window.end,
+                "value": value.value,
+            }
+        self._producer.produce(
+            self.topic, value, key=key, event_time=record.timestamp
+        )
+
+
+def build_operator(spec) -> Operator:
+    """Instantiate the runtime operator for a graph spec."""
+    if spec.kind == "map":
+        return MapOperator(spec.fn)
+    if spec.kind == "filter":
+        return FilterOperator(spec.fn)
+    if spec.kind == "flat_map":
+        return FlatMapOperator(spec.fn)
+    if spec.kind == "process":
+        return ProcessOperator(spec.fn)
+    if spec.kind == "window":
+        return WindowOperator(spec.assigner, spec.aggregator, spec.allowed_lateness)
+    if spec.kind == "join":
+        return WindowJoinOperator(spec.assigner, spec.join_fn)
+    raise OperatorError(f"no runtime operator for kind {spec.kind!r}")

@@ -1,0 +1,80 @@
+"""Event time, watermarks and stream elements.
+
+Everything that flows between operators is a :class:`StreamElement`:
+data records, watermarks (event-time progress markers) and checkpoint
+barriers (Section 4.2's "built-in state management and checkpointing").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class StreamRecord:
+    """A data element with an assigned event timestamp and optional key."""
+
+    value: Any
+    timestamp: float
+    key: Any = None
+
+    def with_value(self, value: Any) -> "StreamRecord":
+        return StreamRecord(value, self.timestamp, self.key)
+
+    def with_key(self, key: Any) -> "StreamRecord":
+        return StreamRecord(self.value, self.timestamp, key)
+
+
+@dataclass(frozen=True, slots=True)
+class Watermark:
+    """Assertion that no element with timestamp <= ``timestamp`` follows."""
+
+    timestamp: float
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointBarrier:
+    """Alignment marker injected by the checkpoint coordinator."""
+
+    checkpoint_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class StreamStatus:
+    """Source idleness marker (Flink's ``withIdleness``).
+
+    An idle channel is excluded from the downstream watermark minimum so an
+    empty Kafka partition cannot stall event time for the whole job.
+    """
+
+    idle: bool
+
+
+StreamElement = StreamRecord | Watermark | CheckpointBarrier | StreamStatus
+
+
+class BoundedOutOfOrdernessWatermarks:
+    """Watermark generator tolerating ``max_out_of_orderness`` seconds.
+
+    Emits ``max_seen_timestamp - max_out_of_orderness`` — the standard
+    Flink strategy.  Late events (below the watermark) are handled by the
+    window operator's allowed-lateness policy.
+    """
+
+    def __init__(self, max_out_of_orderness: float = 0.0) -> None:
+        if max_out_of_orderness < 0:
+            raise ValueError(
+                f"out-of-orderness bound must be >= 0, got {max_out_of_orderness}"
+            )
+        self.max_out_of_orderness = max_out_of_orderness
+        self._max_timestamp = float("-inf")
+
+    def on_event(self, timestamp: float) -> None:
+        if timestamp > self._max_timestamp:
+            self._max_timestamp = timestamp
+
+    def current_watermark(self) -> float:
+        if self._max_timestamp == float("-inf"):
+            return float("-inf")
+        return self._max_timestamp - self.max_out_of_orderness

@@ -1,0 +1,121 @@
+"""Rule-based job monitoring and automatic failure recovery (Section 4.2.1).
+
+"A rule-based engine which compares the Flink job's key metrics such as
+resource usage against the desired state and takes corrective action such
+as restarting a stuck job or auto scaling."
+
+Rules are predicates over a job's health snapshot; actions are callables
+on the job server.  The stock rule set covers the paper's two examples
+(stuck job -> restart, resource pressure -> rescale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.flink.jobserver import JobServer, JobState
+
+
+@dataclass
+class Rule:
+    """One monitoring rule."""
+
+    name: str
+    condition: Callable[[dict[str, float]], bool]
+    action: str  # 'restart' | 'scale_up' | 'alert'
+
+
+@dataclass
+class WatchdogEvent:
+    job_id: str
+    rule: str
+    action: str
+    detail: str = ""
+
+
+@dataclass
+class _JobHistory:
+    last_lag: float | None = None
+    stuck_evaluations: int = 0
+
+
+class Watchdog:
+    """Evaluates rules over every job each cycle and acts on matches."""
+
+    def __init__(
+        self,
+        server: JobServer,
+        stuck_cycles_before_restart: int = 3,
+    ) -> None:
+        self.server = server
+        self.stuck_cycles_before_restart = stuck_cycles_before_restart
+        self.rules: list[Rule] = []
+        self.events: list[WatchdogEvent] = []
+        self._history: dict[str, _JobHistory] = {}
+        self._install_default_rules()
+
+    def _install_default_rules(self) -> None:
+        self.rules.append(
+            Rule(
+                "job-not-running",
+                condition=lambda m: m.get("running", 1.0) == 0.0,
+                action="restart",
+            )
+        )
+        self.rules.append(
+            Rule(
+                "excessive-buffering",
+                condition=lambda m: m.get("buffered_elements", 0.0) > 100_000,
+                action="alert",
+            )
+        )
+
+    def add_rule(self, rule: Rule) -> None:
+        self.rules.append(rule)
+
+    def evaluate_once(self) -> list[WatchdogEvent]:
+        """One monitoring cycle; returns the events it acted on."""
+        fired: list[WatchdogEvent] = []
+        snapshot = self.server.health_snapshot()
+        for job_id, job_metrics in snapshot.items():
+            history = self._history.setdefault(job_id, _JobHistory())
+            self._track_stuck(job_id, job_metrics, history)
+            for rule in self.rules:
+                if not rule.condition(job_metrics):
+                    continue
+                event = WatchdogEvent(job_id, rule.name, rule.action)
+                if rule.action == "restart":
+                    recovered = self._restart(job_id)
+                    event.detail = "recovered" if recovered else "recovery failed"
+                fired.append(event)
+                self.events.append(event)
+        return fired
+
+    def _track_stuck(
+        self, job_id: str, job_metrics: dict[str, float], history: _JobHistory
+    ) -> None:
+        """Stuck detection: lag present and not shrinking for N cycles
+        while the job claims to be running."""
+        lag = job_metrics.get("source_lag", 0.0)
+        running = job_metrics.get("running", 0.0) == 1.0
+        if running and lag > 0 and history.last_lag is not None and lag >= history.last_lag:
+            history.stuck_evaluations += 1
+        else:
+            history.stuck_evaluations = 0
+        history.last_lag = lag
+        if history.stuck_evaluations >= self.stuck_cycles_before_restart:
+            event = WatchdogEvent(
+                job_id, "stuck-job", "restart", detail=f"lag pinned at {lag:.0f}"
+            )
+            self.server.mark_failed(job_id)
+            if self._restart(job_id):
+                event.detail += "; recovered"
+            self.events.append(event)
+            history.stuck_evaluations = 0
+
+    def _restart(self, job_id: str) -> bool:
+        job = self.server.get(job_id)
+        if job.state is not JobState.FAILED:
+            self.server.mark_failed(job_id)
+        return self.server.recover(job_id)

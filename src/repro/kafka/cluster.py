@@ -1,0 +1,335 @@
+"""Brokers, topics and the cluster control plane.
+
+A :class:`KafkaCluster` owns a set of brokers, assigns partition replicas
+to them, serves produce/fetch requests and runs follower replication.
+The replication model is deliberately explicit so the paper's consistency
+trade-offs are observable:
+
+* ``acks=1`` appends to the leader only; followers catch up when
+  :meth:`replicate` runs.  If the leader dies first, unreplicated records
+  are lost — this is the "higher throughput but not lossless" configuration
+  surge pricing uses (Section 5.1).
+* ``acks=all`` appends synchronously to every live replica; leader failure
+  loses nothing — the financial-data configuration (Section 9.2 "zero data
+  loss").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.errors import (
+    BrokerUnavailableError,
+    KafkaError,
+    NotEnoughReplicasError,
+    TopicExistsError,
+    UnknownTopicError,
+)
+from repro.common.metrics import MetricsRegistry
+from repro.common.records import Record
+from repro.kafka.log import LogEntry, PartitionLog
+
+
+@dataclass
+class TopicConfig:
+    """Per-topic knobs, mirroring the paper's per-use-case tuning."""
+
+    partitions: int = 4
+    replication_factor: int = 2
+    retention_seconds: float | None = None
+    retention_bytes: int | None = None
+    # "lossless" topics force acks=all on every produce regardless of the
+    # producer's own setting (financial data, Section 9.2).
+    lossless: bool = False
+
+
+class Broker:
+    """One broker node hosting partition replicas."""
+
+    def __init__(self, broker_id: int) -> None:
+        self.broker_id = broker_id
+        self.alive = True
+        # (topic, partition) -> replica log
+        self.replicas: dict[tuple[str, int], PartitionLog] = {}
+
+    def hosted_bytes(self) -> int:
+        return sum(log.size_bytes for log in self.replicas.values())
+
+
+@dataclass
+class PartitionState:
+    """Control-plane view of one partition."""
+
+    topic: str
+    partition: int
+    replica_brokers: list[int]  # preference order; [0] is preferred leader
+    leader: int
+
+    def replica_set(self) -> list[int]:
+        return list(self.replica_brokers)
+
+
+class Topic:
+    def __init__(self, name: str, config: TopicConfig) -> None:
+        self.name = name
+        self.config = config
+        self.partitions: list[PartitionState] = []
+
+
+class KafkaCluster:
+    """A single physical Kafka cluster."""
+
+    def __init__(
+        self,
+        name: str = "kafka",
+        num_brokers: int = 3,
+        clock: Clock | None = None,
+    ) -> None:
+        if num_brokers < 1:
+            raise KafkaError(f"cluster needs at least one broker, got {num_brokers}")
+        self.name = name
+        self.clock = clock or SystemClock()
+        self.brokers: dict[int, Broker] = {i: Broker(i) for i in range(num_brokers)}
+        self.topics: dict[str, Topic] = {}
+        self._assign_cursor = itertools.count()
+        self.metrics = MetricsRegistry(f"kafka.{name}")
+
+    # -- cluster membership ---------------------------------------------------
+
+    @property
+    def num_brokers(self) -> int:
+        return len(self.brokers)
+
+    def add_broker(self) -> int:
+        broker_id = max(self.brokers) + 1 if self.brokers else 0
+        self.brokers[broker_id] = Broker(broker_id)
+        return broker_id
+
+    def kill_broker(self, broker_id: int) -> None:
+        """Fail a broker; partitions it led elect a new live leader."""
+        broker = self._broker(broker_id)
+        broker.alive = False
+        for topic in self.topics.values():
+            for pstate in topic.partitions:
+                if pstate.leader == broker_id:
+                    self._elect_leader(pstate)
+
+    def restart_broker(self, broker_id: int) -> None:
+        """Bring a broker back; its replica logs truncate to the current
+        leader (a restarted follower discards diverged entries) and resync."""
+        broker = self._broker(broker_id)
+        broker.alive = True
+        for topic in self.topics.values():
+            for pstate in topic.partitions:
+                if broker_id not in pstate.replica_brokers:
+                    continue
+                leader_log = self._leader_log(pstate)
+                if leader_log is None:
+                    # No live leader existed; this broker takes over as-is.
+                    pstate.leader = broker_id
+                    continue
+                follower_log = broker.replicas[(pstate.topic, pstate.partition)]
+                if follower_log is not leader_log:
+                    follower_log.truncate_to(
+                        min(follower_log.end_offset, leader_log.end_offset)
+                    )
+        self.replicate()
+
+    def _broker(self, broker_id: int) -> Broker:
+        if broker_id not in self.brokers:
+            raise KafkaError(f"unknown broker {broker_id}")
+        return self.brokers[broker_id]
+
+    def _elect_leader(self, pstate: PartitionState) -> None:
+        for candidate in pstate.replica_brokers:
+            if self.brokers[candidate].alive:
+                pstate.leader = candidate
+                return
+        # No live replica: leader stays as-is; produce/fetch will fail until
+        # a replica broker restarts.
+
+    # -- topics ----------------------------------------------------------------
+
+    def create_topic(self, name: str, config: TopicConfig | None = None) -> Topic:
+        if name in self.topics:
+            raise TopicExistsError(f"topic {name!r} already exists on {self.name}")
+        config = config or TopicConfig()
+        if config.replication_factor > len(self.brokers):
+            raise KafkaError(
+                f"replication factor {config.replication_factor} exceeds "
+                f"broker count {len(self.brokers)}"
+            )
+        topic = Topic(name, config)
+        broker_ids = sorted(self.brokers)
+        for partition in range(config.partitions):
+            start = next(self._assign_cursor)
+            replicas = [
+                broker_ids[(start + r) % len(broker_ids)]
+                for r in range(config.replication_factor)
+            ]
+            pstate = PartitionState(name, partition, replicas, leader=replicas[0])
+            for broker_id in replicas:
+                self.brokers[broker_id].replicas[(name, partition)] = PartitionLog()
+            self._elect_leader(pstate)
+            topic.partitions.append(pstate)
+        self.topics[name] = topic
+        return topic
+
+    def delete_topic(self, name: str) -> None:
+        topic = self._topic(name)
+        for pstate in topic.partitions:
+            for broker_id in pstate.replica_brokers:
+                self.brokers[broker_id].replicas.pop((name, pstate.partition), None)
+        del self.topics[name]
+
+    def has_topic(self, name: str) -> bool:
+        return name in self.topics
+
+    def _topic(self, name: str) -> Topic:
+        if name not in self.topics:
+            raise UnknownTopicError(f"topic {name!r} does not exist on {self.name}")
+        return self.topics[name]
+
+    def partition_count(self, topic: str) -> int:
+        return len(self._topic(topic).partitions)
+
+    def _pstate(self, topic: str, partition: int) -> PartitionState:
+        t = self._topic(topic)
+        if not 0 <= partition < len(t.partitions):
+            raise KafkaError(f"{topic!r} has no partition {partition}")
+        return t.partitions[partition]
+
+    def _leader_log(self, pstate: PartitionState) -> PartitionLog | None:
+        leader = self.brokers[pstate.leader]
+        if not leader.alive:
+            return None
+        return leader.replicas[(pstate.topic, pstate.partition)]
+
+    # -- data plane --------------------------------------------------------------
+
+    def append(
+        self,
+        topic: str,
+        partition: int,
+        record: Record,
+        acks: str = "1",
+    ) -> int:
+        """Append one record to a partition leader; returns the offset."""
+        pstate = self._pstate(topic, partition)
+        if self._topic(topic).config.lossless:
+            acks = "all"
+        leader_log = self._leader_log(pstate)
+        if leader_log is None:
+            self._elect_leader(pstate)
+            leader_log = self._leader_log(pstate)
+        if leader_log is None:
+            raise BrokerUnavailableError(
+                f"no live replica for {topic}[{partition}] on {self.name}"
+            )
+        now = self.clock.now()
+        if acks == "all":
+            followers = []
+            for broker_id in pstate.replica_brokers:
+                if broker_id == pstate.leader:
+                    continue
+                broker = self.brokers[broker_id]
+                if not broker.alive:
+                    raise NotEnoughReplicasError(
+                        f"acks=all: replica broker {broker_id} of "
+                        f"{topic}[{partition}] is down"
+                    )
+                followers.append(broker.replicas[(topic, partition)])
+            offset = leader_log.append(record, now)
+            for log in followers:
+                log.append(record, now)
+        else:
+            offset = leader_log.append(record, now)
+        self.metrics.counter("records_in").inc()
+        return offset
+
+    def fetch(
+        self,
+        topic: str,
+        partition: int,
+        offset: int,
+        max_records: int = 500,
+    ) -> list[LogEntry]:
+        pstate = self._pstate(topic, partition)
+        leader_log = self._leader_log(pstate)
+        if leader_log is None:
+            raise BrokerUnavailableError(
+                f"no live leader for {topic}[{partition}] on {self.name}"
+            )
+        entries = leader_log.read(offset, max_records)
+        self.metrics.counter("records_out").inc(len(entries))
+        return entries
+
+    def end_offset(self, topic: str, partition: int) -> int:
+        pstate = self._pstate(topic, partition)
+        log = self._leader_log(pstate)
+        if log is None:
+            raise BrokerUnavailableError(f"no live leader for {topic}[{partition}]")
+        return log.end_offset
+
+    def start_offset(self, topic: str, partition: int) -> int:
+        pstate = self._pstate(topic, partition)
+        log = self._leader_log(pstate)
+        if log is None:
+            raise BrokerUnavailableError(f"no live leader for {topic}[{partition}]")
+        return log.start_offset
+
+    def total_lag(self, topic: str, offsets: dict[int, int]) -> int:
+        """Sum over partitions of (end offset - consumer position)."""
+        return sum(
+            self.end_offset(topic, p) - offsets.get(p, 0)
+            for p in range(self.partition_count(topic))
+        )
+
+    # -- background work --------------------------------------------------------
+
+    def replicate(self) -> int:
+        """Catch followers up to their leaders (async replication step).
+
+        Returns the number of entries copied.  Call this between produce
+        and failure injection to control the replication lag window.
+        """
+        copied = 0
+        for topic in self.topics.values():
+            for pstate in topic.partitions:
+                leader_log = self._leader_log(pstate)
+                if leader_log is None:
+                    continue
+                for broker_id in pstate.replica_brokers:
+                    if broker_id == pstate.leader:
+                        continue
+                    broker = self.brokers[broker_id]
+                    if not broker.alive:
+                        continue
+                    follower = broker.replicas[(pstate.topic, pstate.partition)]
+                    if follower.end_offset > leader_log.end_offset:
+                        follower.truncate_to(leader_log.end_offset)
+                    for entry in leader_log.iter_from(follower.end_offset):
+                        follower.append(entry.record, entry.append_time)
+                        copied += 1
+        return copied
+
+    def apply_retention(self) -> int:
+        """Expire old data on every replica per each topic's config."""
+        now = self.clock.now()
+        expired = 0
+        for topic in self.topics.values():
+            cfg = topic.config
+            if cfg.retention_seconds is None and cfg.retention_bytes is None:
+                continue
+            for pstate in topic.partitions:
+                for broker_id in pstate.replica_brokers:
+                    log = self.brokers[broker_id].replicas[(topic.name, pstate.partition)]
+                    expired += log.apply_retention(
+                        now, cfg.retention_seconds, cfg.retention_bytes
+                    )
+        return expired
+
+    def total_bytes(self) -> int:
+        return sum(b.hosted_bytes() for b in self.brokers.values())

@@ -1,0 +1,182 @@
+"""Dead letter queues on top of the Kafka interface (Section 4.1.2).
+
+In plain Kafka a consumer facing a poison message must either drop it
+(data loss) or retry forever (head-of-line blocking).  Uber's DLQ strategy
+publishes a message that failed several processing attempts to a dead
+letter topic, keeping it out of the live path; users can later *purge*
+(drop) or *merge* (re-inject for another attempt) the dead letters.
+
+:class:`DlqConsumer` wraps a regular consumer with this policy; it is also
+reused by the consumer proxy (Section 4.1.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+from repro.common.errors import KafkaError
+from repro.common.metrics import MetricsRegistry
+from repro.kafka.cluster import KafkaCluster, TopicConfig
+from repro.kafka.consumer import ConsumedMessage, Consumer
+
+
+class FailurePolicy(Enum):
+    """The three options Section 4.1.2 contrasts."""
+
+    DROP = "drop"  # lose the message after retries
+    BLOCK = "block"  # retry indefinitely, clogging the partition
+    DLQ = "dlq"  # divert to the dead letter topic
+
+
+def dlq_topic_name(topic: str, group: str) -> str:
+    return f"{topic}.{group}.dlq"
+
+
+@dataclass
+class ProcessingStats:
+    processed: int = 0
+    failed_attempts: int = 0
+    dropped: int = 0
+    dead_lettered: int = 0
+    blocked_on: ConsumedMessage | None = None
+
+
+class DlqConsumer:
+    """Consumer wrapper that applies a failure policy with bounded retries.
+
+    ``handler(message) -> None`` raising marks the attempt failed.  With
+    policy DLQ, after ``max_retries`` failed attempts the record is
+    published to the dead letter topic and the consumer moves on.
+    """
+
+    def __init__(
+        self,
+        cluster: KafkaCluster,
+        consumer: Consumer,
+        handler: Callable[[ConsumedMessage], None],
+        policy: FailurePolicy = FailurePolicy.DLQ,
+        max_retries: int = 3,
+    ) -> None:
+        if max_retries < 0:
+            raise KafkaError(f"max_retries must be >= 0, got {max_retries}")
+        self.cluster = cluster
+        self.consumer = consumer
+        self.handler = handler
+        self.policy = policy
+        self.max_retries = max_retries
+        self.stats = ProcessingStats()
+        self.metrics = MetricsRegistry(f"dlq.{consumer.group}")
+        self._dlq_topic = dlq_topic_name(consumer.topic, consumer.group)
+        self._merge_position = 0
+        if policy is FailurePolicy.DLQ and not cluster.has_topic(self._dlq_topic):
+            cluster.create_topic(
+                self._dlq_topic,
+                TopicConfig(partitions=1, replication_factor=1),
+            )
+
+    @property
+    def dlq_topic(self) -> str:
+        return self._dlq_topic
+
+    def _attempt(self, message: ConsumedMessage) -> bool:
+        try:
+            self.handler(message)
+        except Exception:
+            self.stats.failed_attempts += 1
+            self.metrics.counter("failed_attempts").inc()
+            return False
+        self.stats.processed += 1
+        self.metrics.counter("processed").inc()
+        return True
+
+    def process_batch(self, max_records: int = 500) -> int:
+        """Poll once and process the batch under the failure policy.
+
+        Returns the number of records that left the live path (processed,
+        dropped, or dead-lettered).  With policy BLOCK, processing stops at
+        the first permanently failing record and the method returns early —
+        subsequent records in the partition stay stuck behind it, which is
+        exactly the pathology the DLQ eliminates.
+        """
+        completed = 0
+        for message in self.consumer.poll(max_records):
+            if self._attempt(message):
+                completed += 1
+                continue
+            retried_ok = False
+            if self.policy is FailurePolicy.BLOCK:
+                # Retry "indefinitely": bounded here to keep simulations
+                # finite, but the record never advances on failure.
+                for __ in range(self.max_retries):
+                    if self._attempt(message):
+                        retried_ok = True
+                        break
+                if not retried_ok:
+                    self.stats.blocked_on = message
+                    # Rewind so the failed record is re-fetched next poll.
+                    self.consumer.seek(message.partition, message.offset)
+                    return completed
+                completed += 1
+                continue
+            for __ in range(self.max_retries):
+                if self._attempt(message):
+                    retried_ok = True
+                    break
+            if retried_ok:
+                completed += 1
+            elif self.policy is FailurePolicy.DROP:
+                self.stats.dropped += 1
+                self.metrics.counter("dropped").inc()
+                completed += 1
+            else:  # DLQ
+                self.cluster.append(self._dlq_topic, 0, message.entry.record)
+                self.stats.dead_lettered += 1
+                self.metrics.counter("dead_lettered").inc()
+                completed += 1
+        self.consumer.commit()
+        return completed
+
+    # -- dead letter management (user-driven, Section 4.1.2) -------------------
+
+    def dead_letters(self) -> list[ConsumedMessage]:
+        """Peek at the current contents of the dead letter topic."""
+        out = []
+        start = self.cluster.start_offset(self._dlq_topic, 0)
+        end = self.cluster.end_offset(self._dlq_topic, 0)
+        offset = start
+        while offset < end:
+            for entry in self.cluster.fetch(self._dlq_topic, 0, offset, 1000):
+                out.append(ConsumedMessage(self._dlq_topic, 0, entry.offset, entry))
+                offset = entry.offset + 1
+        return out
+
+    def merge_dead_letters(self) -> int:
+        """Re-inject dead letters into the live topic for another attempt.
+
+        Returns the number merged.  The DLQ itself is not truncated (Kafka
+        topics are immutable); a real deployment tracks a merge offset,
+        which we do too.
+        """
+        from repro.kafka.producer import hash_partitioner
+
+        merged = 0
+        for message in self.dead_letters()[self._merge_position :]:
+            record = message.entry.record
+            # Re-publish to the source topic preserving the key-based
+            # placement used originally.
+            num = self.cluster.partition_count(self.consumer.topic)
+            target = (
+                hash_partitioner(record.key, num) if record.key is not None else 0
+            )
+            self.cluster.append(self.consumer.topic, target, record)
+            merged += 1
+        self._merge_position += merged
+        return merged
+
+    def purge_dead_letters(self) -> int:
+        """Acknowledge-and-forget everything currently in the DLQ."""
+        pending = len(self.dead_letters()) - self._merge_position
+        self._merge_position += pending
+        return pending

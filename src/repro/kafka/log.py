@@ -1,0 +1,141 @@
+"""The partition log: Kafka's core data structure.
+
+An append-only sequence of records with dense offsets, a log-start offset
+that advances under retention, and byte accounting via the serde layer.
+Replicas of a partition each hold one :class:`PartitionLog`; follower logs
+trail the leader and are caught up by replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common import serde
+from repro.common.errors import OffsetOutOfRangeError
+from repro.common.records import Record
+
+
+@dataclass(frozen=True, slots=True)
+class LogEntry:
+    """A record at a fixed position in a partition."""
+
+    offset: int
+    record: Record
+    append_time: float  # broker clock at append, drives time-based retention
+
+
+class PartitionLog:
+    """Append-only record log with offset-addressed reads and retention."""
+
+    def __init__(self) -> None:
+        self._entries: list[LogEntry] = []
+        self._start_offset = 0  # offset of the first retained entry
+        self._bytes = 0
+
+    @property
+    def start_offset(self) -> int:
+        """Lowest retained offset (the "low watermark")."""
+        return self._start_offset
+
+    @property
+    def end_offset(self) -> int:
+        """Offset that the next append will receive (the "high watermark")."""
+        return self._start_offset + len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._bytes
+
+    def append(self, record: Record, append_time: float) -> int:
+        """Append one record; returns its offset."""
+        offset = self.end_offset
+        self._entries.append(LogEntry(offset, record, append_time))
+        self._bytes += _record_size(record)
+        return offset
+
+    def read(self, offset: int, max_records: int = 500) -> list[LogEntry]:
+        """Read up to ``max_records`` entries starting at ``offset``.
+
+        Reading exactly at the end offset returns an empty list (caller is
+        caught up).  Reading below the start offset or beyond the end
+        raises :class:`OffsetOutOfRangeError`, like the real broker.
+        """
+        if offset < self._start_offset or offset > self.end_offset:
+            raise OffsetOutOfRangeError(
+                f"offset {offset} outside retained range "
+                f"[{self._start_offset}, {self.end_offset}]"
+            )
+        index = offset - self._start_offset
+        return self._entries[index : index + max_records]
+
+    def entry_at(self, offset: int) -> LogEntry:
+        entries = self.read(offset, max_records=1)
+        if not entries:
+            raise OffsetOutOfRangeError(f"offset {offset} is at the log end")
+        return entries[0]
+
+    def iter_from(self, offset: int) -> Iterator[LogEntry]:
+        index = max(0, offset - self._start_offset)
+        yield from self._entries[index:]
+
+    def truncate_to(self, end_offset: int) -> int:
+        """Discard entries at or after ``end_offset`` (leader-change
+        truncation of a diverged follower).  Returns entries removed."""
+        keep = max(0, end_offset - self._start_offset)
+        removed = self._entries[keep:]
+        self._entries = self._entries[:keep]
+        self._bytes -= sum(_record_size(e.record) for e in removed)
+        return len(removed)
+
+    def trim_head_to(self, offset: int) -> int:
+        """Advance the start offset to ``offset``, discarding earlier
+        entries (tiered storage: the cold tier owns them now).  Returns the
+        number of entries trimmed."""
+        trimmed = 0
+        while self._entries and self._start_offset < offset:
+            head = self._entries.pop(0)
+            self._bytes -= _record_size(head.record)
+            self._start_offset += 1
+            trimmed += 1
+        if self._start_offset < offset and not self._entries:
+            self._start_offset = offset
+        return trimmed
+
+    def apply_retention(
+        self,
+        now: float,
+        retention_seconds: float | None = None,
+        retention_bytes: int | None = None,
+    ) -> int:
+        """Advance the start offset per time/size retention; returns the
+        number of entries expired."""
+        expired = 0
+        while self._entries:
+            head = self._entries[0]
+            too_old = (
+                retention_seconds is not None
+                and now - head.append_time > retention_seconds
+            )
+            too_big = retention_bytes is not None and self._bytes > retention_bytes
+            if not too_old and not too_big:
+                break
+            self._entries.pop(0)
+            self._bytes -= _record_size(head.record)
+            self._start_offset += 1
+            expired += 1
+        return expired
+
+
+def _record_size(record: Record) -> int:
+    return serde.encoded_size(
+        {
+            "key": record.key,
+            "value": record.value,
+            "event_time": record.event_time,
+            "headers": dict(record.headers),
+        }
+    )

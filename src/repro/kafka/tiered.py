@@ -1,0 +1,227 @@
+"""Tiered storage for the streaming layer (Section 11, "Tiered storage").
+
+"Storage tiering improves both cost efficiency by storing colder data in
+a cheaper storage medium as well as elasticity by separating data storage
+and serving layers."
+
+:class:`TieredLog` wraps a partition's hot log: closed chunks of the log
+older than ``hot_retention_seconds`` are offloaded as immutable chunk
+objects to the blob store and trimmed from broker memory/disk.  Reads are
+transparent: offsets still resolve, with cold reads fetching (and
+charging) chunk downloads.  The cost model exposes hot vs cold bytes so
+the ablation bench can show the cost/latency trade.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.common import serde
+from repro.common.errors import KafkaError, OffsetOutOfRangeError
+from repro.common.records import Record
+from repro.kafka.cluster import KafkaCluster
+from repro.kafka.log import LogEntry, PartitionLog
+from repro.storage.blobstore import BlobStore
+
+DEFAULT_CHUNK_RECORDS = 500
+
+# Relative storage cost per byte (the "cheaper storage medium" ratio;
+# object storage is roughly an order of magnitude cheaper than broker
+# NVMe when replication is included).
+HOT_COST_PER_BYTE = 10.0
+COLD_COST_PER_BYTE = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkMeta:
+    """Catalog entry for one offloaded chunk."""
+
+    base_offset: int
+    end_offset: int  # exclusive
+    blob_key: str
+    size_bytes: int
+    max_append_time: float
+
+
+class TieredPartition:
+    """One partition's two-tier view: cold chunk catalog + the hot log."""
+
+    def __init__(
+        self,
+        cluster: KafkaCluster,
+        topic: str,
+        partition: int,
+        store: BlobStore,
+        hot_retention_seconds: float,
+        chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    ) -> None:
+        self.cluster = cluster
+        self.topic = topic
+        self.partition = partition
+        self.store = store
+        self.hot_retention_seconds = hot_retention_seconds
+        self.chunk_records = chunk_records
+        self.chunks: list[ChunkMeta] = []
+        self.cold_reads = 0
+        self.hot_reads = 0
+
+    # -- offload path -----------------------------------------------------------
+
+    def _hot_log(self) -> PartitionLog:
+        pstate = self.cluster._pstate(self.topic, self.partition)
+        log = self.cluster._leader_log(pstate)
+        if log is None:
+            raise KafkaError(
+                f"no live leader for {self.topic}[{self.partition}]"
+            )
+        return log
+
+    def offload_step(self) -> int:
+        """Offload every full chunk older than the hot retention; returns
+        records moved to the cold tier."""
+        log = self._hot_log()
+        now = self.cluster.clock.now()
+        moved = 0
+        while True:
+            start = log.start_offset
+            available = log.end_offset - start
+            if available < self.chunk_records:
+                return moved
+            entries = log.read(start, self.chunk_records)
+            if now - entries[-1].append_time <= self.hot_retention_seconds:
+                return moved
+            payload = [
+                {
+                    "offset": e.offset,
+                    "key": e.record.key,
+                    "value": e.record.value,
+                    "event_time": e.record.event_time,
+                    "headers": dict(e.record.headers),
+                    "append_time": e.append_time,
+                }
+                for e in entries
+            ]
+            data = serde.encode(payload)
+            blob_key = (
+                f"tiered/{self.cluster.name}/{self.topic}/{self.partition}/"
+                f"chunk-{start:012d}"
+            )
+            self.store.put(blob_key, data)
+            self.chunks.append(
+                ChunkMeta(
+                    base_offset=start,
+                    end_offset=entries[-1].offset + 1,
+                    blob_key=blob_key,
+                    size_bytes=len(data),
+                    max_append_time=entries[-1].append_time,
+                )
+            )
+            # Trim the hot tier on every replica: the durable copy is the
+            # cold chunk now.
+            pstate = self.cluster._pstate(self.topic, self.partition)
+            for broker_id in pstate.replica_brokers:
+                replica = self.cluster.brokers[broker_id].replicas[
+                    (self.topic, self.partition)
+                ]
+                replica.trim_head_to(entries[-1].offset + 1)
+            moved += len(entries)
+
+    # -- transparent reads --------------------------------------------------------
+
+    def log_start_offset(self) -> int:
+        """The true earliest offset, counting the cold tier."""
+        if self.chunks:
+            return self.chunks[0].base_offset
+        return self._hot_log().start_offset
+
+    def fetch(self, offset: int, max_records: int = 500) -> list[LogEntry]:
+        """Read spanning tiers: cold chunks first, then the hot log."""
+        log = self._hot_log()
+        if offset >= log.start_offset:
+            self.hot_reads += 1
+            return log.read(offset, max_records)
+        index = bisect_right([c.base_offset for c in self.chunks], offset) - 1
+        if index < 0 or offset >= self.chunks[index].end_offset:
+            raise OffsetOutOfRangeError(
+                f"offset {offset} is below the cold tier start"
+            )
+        chunk = self.chunks[index]
+        self.cold_reads += 1
+        payload = serde.decode(self.store.get(chunk.blob_key))
+        out = []
+        for item in payload:
+            if item["offset"] < offset:
+                continue
+            if len(out) >= max_records:
+                break
+            out.append(
+                LogEntry(
+                    offset=item["offset"],
+                    record=Record(
+                        key=item["key"],
+                        value=item["value"],
+                        event_time=item["event_time"],
+                        headers=item["headers"],
+                    ),
+                    append_time=item["append_time"],
+                )
+            )
+        return out
+
+    # -- cost accounting --------------------------------------------------------------
+
+    def hot_bytes(self) -> int:
+        return self._hot_log().size_bytes
+
+    def cold_bytes(self) -> int:
+        return sum(c.size_bytes for c in self.chunks)
+
+    def storage_cost(self) -> float:
+        """Relative cost: replicated hot bytes at broker prices + single-
+        copy cold bytes at object-store prices."""
+        pstate = self.cluster._pstate(self.topic, self.partition)
+        replication = len(pstate.replica_brokers)
+        return (
+            self.hot_bytes() * replication * HOT_COST_PER_BYTE
+            + self.cold_bytes() * COLD_COST_PER_BYTE
+        )
+
+
+class TieredTopic:
+    """Tiering manager for every partition of one topic."""
+
+    def __init__(
+        self,
+        cluster: KafkaCluster,
+        topic: str,
+        store: BlobStore,
+        hot_retention_seconds: float,
+        chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    ) -> None:
+        if hot_retention_seconds <= 0:
+            raise KafkaError("hot retention must be positive")
+        self.partitions = [
+            TieredPartition(
+                cluster, topic, p, store, hot_retention_seconds, chunk_records
+            )
+            for p in range(cluster.partition_count(topic))
+        ]
+
+    def offload_step(self) -> int:
+        return sum(p.offload_step() for p in self.partitions)
+
+    def fetch(self, partition: int, offset: int, max_records: int = 500):
+        return self.partitions[partition].fetch(offset, max_records)
+
+    def total_hot_bytes(self) -> int:
+        return sum(p.hot_bytes() for p in self.partitions)
+
+    def total_cold_bytes(self) -> int:
+        return sum(p.cold_bytes() for p in self.partitions)
+
+    def total_cost(self) -> float:
+        return sum(p.storage_cost() for p in self.partitions)
+
+    def log_start_offset(self, partition: int) -> int:
+        return self.partitions[partition].log_start_offset()

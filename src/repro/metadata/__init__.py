@@ -1,0 +1,25 @@
+"""Metadata layer: versioned schemas, registry, catalog and lineage."""
+
+from repro.metadata.catalog import DataCatalog, DatasetKind, DatasetRef
+from repro.metadata.registry import SchemaRegistry
+from repro.metadata.schema import (
+    Field,
+    FieldRole,
+    FieldType,
+    Schema,
+    infer_schema,
+    is_backward_compatible,
+)
+
+__all__ = [
+    "DataCatalog",
+    "DatasetKind",
+    "DatasetRef",
+    "SchemaRegistry",
+    "Field",
+    "FieldRole",
+    "FieldType",
+    "Schema",
+    "infer_schema",
+    "is_backward_compatible",
+]

@@ -1,0 +1,110 @@
+"""Dataset catalog with lineage tracking (Section 9.4, "Data discovery").
+
+The catalog is the discovery surface: which datasets exist, in which system
+they live (Kafka topic / Pinot table / Hive table), and how data flows
+between them.  Lineage edges are recorded by the platform components when a
+pipeline is deployed (e.g. FlinkSQL registers topic -> job -> table edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.common.errors import ReproError
+
+
+class DatasetKind(Enum):
+    KAFKA_TOPIC = "kafka_topic"
+    PINOT_TABLE = "pinot_table"
+    HIVE_TABLE = "hive_table"
+    FLINK_JOB = "flink_job"
+    KV_STORE = "kv_store"
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetRef:
+    """Globally unique dataset handle."""
+
+    kind: DatasetKind
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}:{self.name}"
+
+
+@dataclass
+class DatasetEntry:
+    ref: DatasetRef
+    owner: str = ""
+    description: str = ""
+    tags: set[str] = field(default_factory=set)
+
+
+class DataCatalog:
+    """Registry of datasets plus a lineage DAG between them."""
+
+    def __init__(self) -> None:
+        self._entries: dict[DatasetRef, DatasetEntry] = {}
+        self._downstream: dict[DatasetRef, set[DatasetRef]] = {}
+        self._upstream: dict[DatasetRef, set[DatasetRef]] = {}
+
+    def register(
+        self,
+        ref: DatasetRef,
+        owner: str = "",
+        description: str = "",
+        tags: set[str] | None = None,
+    ) -> DatasetEntry:
+        entry = self._entries.get(ref)
+        if entry is None:
+            entry = DatasetEntry(ref, owner, description, tags or set())
+            self._entries[ref] = entry
+        return entry
+
+    def add_lineage(self, source: DatasetRef, sink: DatasetRef) -> None:
+        """Record that data flows from ``source`` into ``sink``."""
+        for ref in (source, sink):
+            if ref not in self._entries:
+                self.register(ref)
+        self._downstream.setdefault(source, set()).add(sink)
+        self._upstream.setdefault(sink, set()).add(source)
+
+    def downstream(self, ref: DatasetRef) -> set[DatasetRef]:
+        return set(self._downstream.get(ref, set()))
+
+    def upstream(self, ref: DatasetRef) -> set[DatasetRef]:
+        return set(self._upstream.get(ref, set()))
+
+    def transitive_downstream(self, ref: DatasetRef) -> set[DatasetRef]:
+        """Every dataset reachable from ``ref`` (impact analysis)."""
+        seen: set[DatasetRef] = set()
+        stack = [ref]
+        while stack:
+            current = stack.pop()
+            for nxt in self._downstream.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def search(self, text: str) -> list[DatasetEntry]:
+        """Substring search over names, descriptions and tags."""
+        needle = text.lower()
+        hits = []
+        for entry in self._entries.values():
+            haystack = " ".join(
+                [entry.ref.name, entry.description, " ".join(entry.tags)]
+            ).lower()
+            if needle in haystack:
+                hits.append(entry)
+        return sorted(hits, key=lambda e: e.ref.name)
+
+    def get(self, ref: DatasetRef) -> DatasetEntry:
+        entry = self._entries.get(ref)
+        if entry is None:
+            raise ReproError(f"dataset {ref} is not in the catalog")
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)

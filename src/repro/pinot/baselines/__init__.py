@@ -1,0 +1,6 @@
+"""OLAP baselines the paper compares Pinot against (Section 4.3)."""
+
+from repro.pinot.baselines.docstore import DocStore
+from repro.pinot.baselines.rowscan import ScanStore
+
+__all__ = ["DocStore", "ScanStore"]

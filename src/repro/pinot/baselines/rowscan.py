@@ -1,0 +1,94 @@
+"""Druid-style columnar store without Pinot's specialized indexes (C4).
+
+Section 4.3: "Pinot is similar in architecture to Apache Druid but has
+incorporated optimized data structures such as bit compressed forward
+indices ... It also uses specialized indices for faster query execution
+such as Startree, sorted and range indices, which could result in order of
+magnitude difference of query latency."
+
+This baseline is a fair Druid stand-in: columnar like Pinot (so the C4
+comparison isolates the *index* contribution, not the storage layout), but
+every filter is a full column scan and every aggregation touches all
+matching rows — no star-tree, no sorted or range index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.memory import deep_sizeof
+from repro.pinot.query import (
+    PinotQuery,
+    _new_agg_state,
+    _update_agg_state,
+    finalize_agg_state,
+)
+
+
+@dataclass
+class ScanStore:
+    """Plain columnar store queried by full scans."""
+
+    name: str = "scanstore"
+    _columns: dict[str, list[Any]] = field(default_factory=dict)
+    _num_rows: int = 0
+    docs_scanned: int = 0  # cumulative work counter for benches
+
+    def load_rows(self, rows: list[dict[str, Any]], column_names: list[str]) -> None:
+        for cname in column_names:
+            self._columns.setdefault(cname, [])
+        for row in rows:
+            for cname in column_names:
+                self._columns[cname].append(row.get(cname))
+        self._num_rows += len(rows)
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def memory_bytes(self) -> int:
+        return deep_sizeof(self._columns)
+
+    def execute(self, query: PinotQuery) -> list[dict[str, Any]]:
+        matching = []
+        for row_id in range(self._num_rows):
+            self.docs_scanned += 1
+            ok = True
+            for flt in query.filters:
+                if not flt.matches(self._columns[flt.column][row_id]):
+                    ok = False
+                    break
+            if ok:
+                matching.append(row_id)
+        if not query.is_aggregation():
+            columns = query.select_columns or sorted(self._columns)
+            rows = [
+                {c: self._columns[c][r] for c in columns} for r in matching
+            ]
+            return rows[: query.limit] if query.limit else rows
+        groups: dict[tuple, list[Any]] = {}
+        for row_id in matching:
+            key = tuple(self._columns[c][row_id] for c in query.group_by)
+            states = groups.get(key)
+            if states is None:
+                states = [_new_agg_state(a) for a in query.aggregations]
+                groups[key] = states
+            for i, agg in enumerate(query.aggregations):
+                value = (
+                    self._columns[agg.column][row_id]
+                    if agg.column is not None
+                    else None
+                )
+                states[i] = _update_agg_state(agg, states[i], value)
+        rows = []
+        for key, states in groups.items():
+            row: dict[str, Any] = dict(zip(query.group_by, key))
+            for agg, stateval in zip(query.aggregations, states):
+                row[agg.alias()] = finalize_agg_state(agg, stateval)
+            rows.append(row)
+        for name, descending in reversed(query.order_by):
+            rows.sort(
+                key=lambda r: (r.get(name) is None, r.get(name)), reverse=descending
+            )
+        return rows[: query.limit] if query.limit else rows

@@ -1,0 +1,145 @@
+"""The Pinot broker: scatter-gather-merge query execution (Section 4.3).
+
+"The query is first decomposed into sub-plans which execute on the
+distributed segments in parallel, and then the plan results are aggregated
+and merged into a final one."
+
+For upsert tables the broker applies the Section 4.3.1 routing strategy:
+all segments of one input partition go to the partition's owning server in
+a single subquery, so the server's local valid-doc-id sets keep the result
+consistent (a key's stale versions are skipped wherever they live).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import PinotError, QueryError
+from repro.common.metrics import MetricsRegistry
+from repro.pinot.controller import PinotController, TableState
+from repro.pinot.query import (
+    PartialResult,
+    PinotQuery,
+    SegmentPlan,
+    finalize_agg_state,
+    merge_agg_states,
+)
+from repro.pinot.server import PinotServer
+
+
+@dataclass
+class QueryResult:
+    rows: list[dict[str, Any]]
+    plans: list[SegmentPlan] = field(default_factory=list)
+    servers_queried: int = 0
+
+    def docs_examined(self) -> int:
+        return sum(p.docs_examined for p in self.plans)
+
+
+class PinotBroker:
+    def __init__(self, controller: PinotController) -> None:
+        self.controller = controller
+        self.metrics = MetricsRegistry("pinot.broker")
+
+    def execute(self, query: PinotQuery) -> QueryResult:
+        state = self.controller.table(query.table)
+        subqueries = self._route(state)
+        partials: list[PartialResult] = []
+        servers = 0
+        for server, segment_names, upsert_partition in subqueries:
+            if not segment_names:
+                continue
+            servers += 1
+            partials.extend(
+                server.execute(query, segment_names, upsert_partition)
+            )
+        self.metrics.counter("queries").inc()
+        result = self._merge(query, partials)
+        result.servers_queried = servers
+        return result
+
+    # -- routing -------------------------------------------------------------
+
+    def _route(
+        self, state: TableState
+    ) -> list[tuple[PinotServer, list[str], int | None]]:
+        """Subqueries as (server, segments, upsert_partition?)."""
+        out: list[tuple[PinotServer, list[str], int | None]] = []
+        upsert = state.config.upsert_enabled
+        for partition, pstate in state.ingestion.partitions.items():
+            segment_names = state.ingestion.segments_of_partition(partition)
+            if upsert:
+                owner = state.owners[partition]
+                if not owner.alive:
+                    raise PinotError(
+                        f"upsert partition {partition} owner {owner.name} is down"
+                    )
+                out.append((owner, segment_names, partition))
+                continue
+            # Non-upsert: sealed segments may be served by any live replica;
+            # the consuming segment only lives on the owner.
+            candidates = [state.owners[partition]] + state.replicas[partition]
+            per_server: dict[str, list[str]] = {}
+            for name in pstate.sealed_segments:
+                host = next(
+                    (s for s in candidates if s.alive and s.has_segment(name)), None
+                )
+                if host is None:
+                    raise PinotError(f"no live replica hosts segment {name!r}")
+                per_server.setdefault(host.name, []).append(name)
+            if state.owners[partition].alive:
+                per_server.setdefault(state.owners[partition].name, []).append(
+                    pstate.consuming.name
+                )
+            for server_name, names in per_server.items():
+                server = next(s for s in self.controller.servers if s.name == server_name)
+                out.append((server, names, None))
+        for segment_name, hosts in state.offline_segments.items():
+            host = next((s for s in hosts if s.alive), None)
+            if host is None:
+                raise PinotError(f"no live host for offline segment {segment_name!r}")
+            out.append((host, [segment_name], None))
+        return out
+
+    # -- merging -----------------------------------------------------------------
+
+    def _merge(self, query: PinotQuery, partials: list[PartialResult]) -> QueryResult:
+        plans = [p.plan for p in partials if p.plan is not None]
+        if query.is_aggregation():
+            merged: dict[tuple, list[Any]] = {}
+            for partial in partials:
+                for key, states in partial.groups.items():
+                    if key not in merged:
+                        merged[key] = states
+                    else:
+                        merged[key] = [
+                            merge_agg_states(agg, a, b)
+                            for agg, a, b in zip(
+                                query.aggregations, merged[key], states
+                            )
+                        ]
+            rows = []
+            for key, states in merged.items():
+                row: dict[str, Any] = dict(zip(query.group_by, key))
+                for agg, stateval in zip(query.aggregations, states):
+                    row[agg.alias()] = finalize_agg_state(agg, stateval)
+                rows.append(row)
+        else:
+            rows = [row for partial in partials for row in partial.rows]
+        rows = self._order_and_limit(query, rows)
+        return QueryResult(rows=rows, plans=plans)
+
+    @staticmethod
+    def _order_and_limit(query: PinotQuery, rows: list[dict[str, Any]]) -> list:
+        for name, descending in reversed(query.order_by):
+            if rows and name not in rows[0]:
+                raise QueryError(f"cannot ORDER BY unknown column {name!r}")
+            rows.sort(
+                key=lambda r: (r.get(name) is None, r.get(name)), reverse=descending
+            )
+        if not query.order_by and query.group_by and query.is_aggregation():
+            # Deterministic default order for group-by results.
+            rows.sort(key=lambda r: tuple(str(r.get(c)) for c in query.group_by))
+        return rows[: query.limit] if query.limit else rows

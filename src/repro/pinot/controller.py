@@ -1,0 +1,175 @@
+"""The Pinot controller: table lifecycle, assignment, failure recovery.
+
+Assigns Kafka partitions to owning servers (round-robin) with ``replicas``
+additional copies, creates the realtime ingestion pipeline, and recovers
+failed servers — from live peers under the peer-to-peer strategy of
+Section 4.3.4, or from the central segment store under the original
+design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import PinotError, TableNotFoundError
+from repro.kafka.cluster import KafkaCluster
+from repro.pinot.realtime import RealtimeIngestion
+from repro.pinot.recovery import SegmentBackupStrategy, recover_segment_p2p
+from repro.pinot.segment import ImmutableSegment
+from repro.pinot.server import PinotServer
+from repro.pinot.table import TableConfig
+
+
+@dataclass
+class TableState:
+    config: TableConfig
+    topic: str
+    ingestion: RealtimeIngestion
+    owners: dict[int, PinotServer]
+    replicas: dict[int, list[PinotServer]]
+    # Offline (batch-loaded) segments, lambda-architecture style: the
+    # segment plus the servers currently hosting it.
+    offline_segments: dict[str, list[PinotServer]] = field(default_factory=dict)
+
+
+class PinotController:
+    def __init__(
+        self,
+        servers: list[PinotServer],
+        backup: SegmentBackupStrategy,
+    ) -> None:
+        if not servers:
+            raise PinotError("need at least one Pinot server")
+        self.servers = list(servers)
+        self.backup = backup
+        self.tables: dict[str, TableState] = {}
+
+    def create_realtime_table(
+        self, config: TableConfig, kafka: KafkaCluster, topic: str
+    ) -> TableState:
+        if config.name in self.tables:
+            raise PinotError(f"table {config.name!r} already exists")
+        partitions = kafka.partition_count(topic)
+        live = [s for s in self.servers if s.alive]
+        if len(live) < config.replicas:
+            raise PinotError(
+                f"{len(live)} live servers cannot satisfy {config.replicas} replicas"
+            )
+        owners: dict[int, PinotServer] = {}
+        replicas: dict[int, list[PinotServer]] = {}
+        for partition in range(partitions):
+            owner_index = partition % len(live)
+            owners[partition] = live[owner_index]
+            replicas[partition] = [
+                live[(owner_index + r) % len(live)]
+                for r in range(1, config.replicas)
+            ]
+        ingestion = RealtimeIngestion(
+            config, kafka, topic, owners, replicas, self.backup
+        )
+        state = TableState(config, topic, ingestion, owners, replicas)
+        self.tables[config.name] = state
+        return state
+
+    def table(self, name: str) -> TableState:
+        if name not in self.tables:
+            raise TableNotFoundError(f"Pinot table {name!r} does not exist")
+        return self.tables[name]
+
+    def add_offline_segment(
+        self, table: str, segment: ImmutableSegment, copies: int | None = None
+    ) -> None:
+        """Load a batch-built segment (the Hive->Pinot path, Section 4.3.3)."""
+        state = self.table(table)
+        live = [s for s in self.servers if s.alive]
+        copies = copies if copies is not None else state.config.replicas
+        hosts = live[: max(1, copies)]
+        for server in hosts:
+            server.host_segment(segment)
+        state.offline_segments[segment.name] = hosts
+        self.backup.request_backup(table, segment)
+
+    # -- failure handling -----------------------------------------------------
+
+    def kill_server(self, name: str) -> None:
+        self._server(name).alive = False
+
+    def _server(self, name: str) -> PinotServer:
+        for server in self.servers:
+            if server.name == name:
+                return server
+        raise PinotError(f"unknown server {name!r}")
+
+    def recover_server(self, failed_name: str, replacement: PinotServer) -> int:
+        """Re-host a dead server's sealed segments on a replacement.
+
+        Uses peer replicas when possible (P2P), falling back to the
+        segment store; raises :class:`StorageError` if a segment is in
+        neither place.  Returns segments recovered.  Consuming segments are
+        not recovered — their rows are re-consumed from Kafka by the new
+        owner (at-least-once, like real Pinot).
+        """
+        failed = self._server(failed_name)
+        if failed.alive:
+            raise PinotError(f"server {failed_name} is still alive")
+        if replacement not in self.servers:
+            self.servers.append(replacement)
+        recovered = 0
+        for state in self.tables.values():
+            for partition, owner in state.owners.items():
+                involved = owner is failed or failed in state.replicas[partition]
+                if not involved:
+                    continue
+                peers = [state.owners[partition]] + state.replicas[partition]
+                peers = [p for p in peers if p is not failed]
+                for seg_name in state.ingestion.partitions[partition].sealed_segments:
+                    if replacement.has_segment(seg_name):
+                        continue
+                    segment = recover_segment_p2p(
+                        seg_name, state.config.name, peers, self.backup
+                    )
+                    replacement.host_segment(segment)
+                    recovered += 1
+                if owner is failed:
+                    state.owners[partition] = replacement
+                    self._restart_consuming(state, partition, replacement)
+                else:
+                    state.replicas[partition] = [
+                        replacement if p is failed else p
+                        for p in state.replicas[partition]
+                    ]
+        return recovered
+
+    def _restart_consuming(
+        self, state: TableState, partition: int, new_owner: PinotServer
+    ) -> None:
+        """The replacement owner re-consumes the in-flight segment's rows
+        from Kafka (they were never sealed)."""
+        from repro.pinot.realtime import MutableSegment, segment_name
+
+        pstate = state.ingestion.partitions[partition]
+        pstate.owner = new_owner
+        pstate.consuming = MutableSegment(
+            segment_name(state.config.name, partition, pstate.sequence),
+            partition,
+            column_names=state.config.schema.field_names(),
+        )
+        new_owner.host_segment(pstate.consuming)
+        # Rewind to the first un-sealed offset: sealed rows stay sealed;
+        # consuming rows are re-read.
+        consumed_rows = sum(
+            state.config.segment_rows_threshold for __ in pstate.sealed_segments
+        )
+        pstate.position = self.tables[state.config.name].ingestion.kafka.start_offset(
+            state.topic, partition
+        ) + consumed_rows
+        if state.config.upsert_enabled:
+            # Shared-nothing upsert metadata is rebuilt locally by replaying
+            # the partition's sealed segments in order.
+            manager = new_owner.upsert_manager(state.config.name, partition)
+            ordered = []
+            for seg_name in pstate.sealed_segments:
+                segment = new_owner.segments[seg_name]
+                rows = [segment.row(d) for d in range(segment.num_docs)]
+                ordered.append((seg_name, rows))
+            manager.rebuild_from_segments(ordered, state.config.primary_key)

@@ -1,0 +1,333 @@
+"""Pinot query model and the per-segment execution engine.
+
+The query shape matches what the paper says the OLAP layer must serve:
+"filtering, aggregations with group by, order by in a high throughput,
+low latency manner" (Section 3).  Queries here are typed objects; the SQL
+text layers (Presto connector, FlinkSQL) compile down to these.
+
+``execute_on_segment`` picks the best access path per filter — sorted
+index, inverted index, range index, star-tree, or forward-index scan — and
+reports the chosen plan, which the index benchmarks (C4) assert on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import QueryError
+from repro.pinot.indexes import intersect_sorted, union_sorted
+from repro.pinot.segment import ImmutableSegment, MutableSegment
+
+
+@dataclass(frozen=True)
+class Filter:
+    """One predicate.  op in {=, !=, >, >=, <, <=, IN, BETWEEN}."""
+
+    column: str
+    op: str
+    value: Any = None
+    values: tuple = ()  # for IN
+    low: Any = None  # for BETWEEN
+    high: Any = None
+
+    def matches(self, cell: Any) -> bool:
+        if cell is None:
+            return False
+        if self.op == "=":
+            return cell == self.value
+        if self.op == "!=":
+            return cell != self.value
+        if self.op == ">":
+            return cell > self.value
+        if self.op == ">=":
+            return cell >= self.value
+        if self.op == "<":
+            return cell < self.value
+        if self.op == "<=":
+            return cell <= self.value
+        if self.op == "IN":
+            return cell in self.values
+        if self.op == "BETWEEN":
+            return self.low <= cell <= self.high
+        raise QueryError(f"unknown filter op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Aggregation:
+    """COUNT / SUM / AVG / MIN / MAX / DISTINCTCOUNT over a column."""
+
+    func: str
+    column: str | None = None
+
+    def alias(self) -> str:
+        return f"{self.func.lower()}({self.column or '*'})"
+
+
+@dataclass
+class PinotQuery:
+    table: str
+    select_columns: list[str] = field(default_factory=list)
+    aggregations: list[Aggregation] = field(default_factory=list)
+    filters: list[Filter] = field(default_factory=list)
+    group_by: list[str] = field(default_factory=list)
+    order_by: list[tuple[str, bool]] = field(default_factory=list)  # (name, desc)
+    limit: int = 10
+
+    def is_aggregation(self) -> bool:
+        return bool(self.aggregations)
+
+
+@dataclass
+class SegmentPlan:
+    """How one segment was accessed (for tests and benches)."""
+
+    segment: str
+    access_paths: list[str] = field(default_factory=list)  # per filter
+    used_startree: bool = False
+    docs_examined: int = 0
+
+
+# -- partial aggregation states (mergeable at the broker) ---------------------
+
+
+def _new_agg_state(agg: Aggregation) -> Any:
+    if agg.func == "COUNT":
+        return 0
+    if agg.func == "SUM":
+        return 0.0
+    if agg.func == "AVG":
+        return [0.0, 0]
+    if agg.func == "MIN":
+        return math.inf
+    if agg.func == "MAX":
+        return -math.inf
+    if agg.func == "DISTINCTCOUNT":
+        return set()
+    raise QueryError(f"unknown aggregation {agg.func!r}")
+
+
+def _update_agg_state(agg: Aggregation, state: Any, value: Any) -> Any:
+    if agg.func == "COUNT":
+        return state + 1
+    if value is None:
+        return state
+    if agg.func == "SUM":
+        return state + value
+    if agg.func == "AVG":
+        state[0] += value
+        state[1] += 1
+        return state
+    if agg.func == "MIN":
+        return min(state, value)
+    if agg.func == "MAX":
+        return max(state, value)
+    if agg.func == "DISTINCTCOUNT":
+        state.add(value)
+        return state
+    raise QueryError(f"unknown aggregation {agg.func!r}")
+
+
+def merge_agg_states(agg: Aggregation, a: Any, b: Any) -> Any:
+    if agg.func in ("COUNT", "SUM"):
+        return a + b
+    if agg.func == "AVG":
+        return [a[0] + b[0], a[1] + b[1]]
+    if agg.func == "MIN":
+        return min(a, b)
+    if agg.func == "MAX":
+        return max(a, b)
+    if agg.func == "DISTINCTCOUNT":
+        return a | b
+    raise QueryError(f"unknown aggregation {agg.func!r}")
+
+
+def finalize_agg_state(agg: Aggregation, state: Any) -> Any:
+    if agg.func == "AVG":
+        return state[0] / state[1] if state[1] else math.nan
+    if agg.func == "DISTINCTCOUNT":
+        return len(state)
+    if agg.func in ("MIN", "MAX") and state in (math.inf, -math.inf):
+        return None
+    return state
+
+
+@dataclass
+class PartialResult:
+    """Per-segment result, merged by the broker."""
+
+    # group key tuple -> [agg states]; () key for global aggregations
+    groups: dict[tuple, list[Any]] = field(default_factory=dict)
+    rows: list[dict[str, Any]] = field(default_factory=list)  # selection queries
+    plan: SegmentPlan | None = None
+
+
+# -- doc-id resolution using indexes -------------------------------------------
+
+
+def _resolve_filter(
+    segment: ImmutableSegment, flt: Filter, plan: SegmentPlan
+) -> list[int]:
+    """Doc ids matching one filter, via the best available access path."""
+    sort_column = segment.index_config.sort_column
+    if (
+        segment.sorted_index is not None
+        and flt.column == sort_column
+        and flt.op in ("=", ">", ">=", "<", "<=", "BETWEEN")
+    ):
+        plan.access_paths.append(f"sorted:{flt.column}")
+        idx = segment.sorted_index
+        if flt.op == "=":
+            return list(idx.equals(flt.value))
+        if flt.op == "BETWEEN":
+            return list(idx.between(flt.low, flt.high))
+        if flt.op in (">", ">="):
+            lo = flt.value
+            run = idx.between(lo, float("inf"))
+            docs = list(run)
+            if flt.op == ">":
+                docs = [d for d in docs if segment.value(flt.column, d) > lo]
+            return docs
+        # <, <=
+        run = idx.between(float("-inf"), flt.value)
+        docs = list(run)
+        if flt.op == "<":
+            docs = [d for d in docs if segment.value(flt.column, d) < flt.value]
+        return docs
+    if flt.column in segment.inverted and flt.op in ("=", "IN"):
+        plan.access_paths.append(f"inverted:{flt.column}")
+        inv = segment.inverted[flt.column]
+        if flt.op == "=":
+            return inv.lookup(flt.value)
+        return inv.lookup_in(list(flt.values))
+    if flt.column in segment.ranges and flt.op in (">", ">=", "<", "<=", "BETWEEN"):
+        plan.access_paths.append(f"range:{flt.column}")
+        rng = segment.ranges[flt.column]
+        if flt.op == "BETWEEN":
+            low, high = flt.low, flt.high
+        elif flt.op in (">", ">="):
+            low, high = flt.value, None
+        else:
+            low, high = None, flt.value
+        certain, boundary = rng.candidates(low, high)
+        refined = [
+            d for d in boundary if flt.matches(segment.value(flt.column, d))
+        ]
+        plan.docs_examined += len(boundary)
+        return union_sorted([certain, refined])
+    # Fallback: forward-index scan.
+    plan.access_paths.append(f"scan:{flt.column}")
+    fwd = segment.forward.get(flt.column)
+    if fwd is None:
+        raise QueryError(f"unknown column {flt.column!r} in segment {segment.name}")
+    plan.docs_examined += len(fwd)
+    return [d for d in range(len(fwd)) if flt.matches(fwd.get(d))]
+
+
+def _try_startree(
+    segment: ImmutableSegment, query: PinotQuery, plan: SegmentPlan
+) -> PartialResult | None:
+    """Use the segment's star-tree when the query fits its shape."""
+    tree = getattr(segment, "startree", None)
+    if tree is None:
+        return None
+    if len(query.aggregations) != 1 or not all(
+        f.op == "=" for f in query.filters
+    ):
+        return None
+    agg = query.aggregations[0]
+    if agg.func not in ("COUNT", "SUM"):
+        return None
+    filters = {f.column: f.value for f in query.filters}
+    try:
+        tree_result, stats = tree.query(
+            filters=filters,
+            group_by=query.group_by,
+            sum_metric=agg.column if agg.func == "SUM" else None,
+        )
+    except QueryError:
+        return None
+    plan.used_startree = True
+    plan.docs_examined += stats.docs_scanned
+    partial = PartialResult(plan=plan)
+    for key, entry in tree_result.items():
+        value = entry["count"] if agg.func == "COUNT" else entry["sum"]
+        partial.groups[key] = [value]
+    return partial
+
+
+def execute_on_segment(
+    segment: ImmutableSegment | MutableSegment,
+    query: PinotQuery,
+    valid_doc_ids: set[int] | None = None,
+) -> PartialResult:
+    """Run a query against one segment, returning mergeable partials.
+
+    ``valid_doc_ids`` restricts evaluation to the still-valid documents of
+    an upsert table (Section 4.3.1); ``None`` means all docs are valid.
+    """
+    plan = SegmentPlan(segment=segment.name)
+    if isinstance(segment, ImmutableSegment) and valid_doc_ids is None:
+        startree_result = _try_startree(segment, query, plan)
+        if startree_result is not None:
+            return startree_result
+    matching = _matching_docs(segment, query, plan)
+    if valid_doc_ids is not None:
+        matching = [d for d in matching if d in valid_doc_ids]
+    partial = PartialResult(plan=plan)
+    if query.is_aggregation():
+        for doc_id in matching:
+            key = tuple(segment.value(c, doc_id) for c in query.group_by)
+            states = partial.groups.get(key)
+            if states is None:
+                states = [_new_agg_state(a) for a in query.aggregations]
+                partial.groups[key] = states
+            for i, agg in enumerate(query.aggregations):
+                value = (
+                    segment.value(agg.column, doc_id)
+                    if agg.column is not None
+                    else None
+                )
+                states[i] = _update_agg_state(agg, states[i], value)
+    else:
+        columns = query.select_columns or _column_names(segment)
+        for doc_id in matching:
+            partial.rows.append({c: segment.value(c, doc_id) for c in columns})
+    return partial
+
+
+def _column_names(segment: ImmutableSegment | MutableSegment) -> list[str]:
+    if isinstance(segment, ImmutableSegment):
+        return segment.column_names()
+    names: set[str] = set()
+    for row in segment.rows:
+        names.update(row)
+    return sorted(names)
+
+
+def _matching_docs(
+    segment: ImmutableSegment | MutableSegment,
+    query: PinotQuery,
+    plan: SegmentPlan,
+) -> list[int]:
+    if isinstance(segment, MutableSegment):
+        # Consuming segments have no indexes; always scan.
+        plan.access_paths.extend(f"scan:{f.column}" for f in query.filters)
+        plan.docs_examined += segment.num_docs
+        return [
+            d
+            for d in range(segment.num_docs)
+            if all(f.matches(segment.value(f.column, d)) for f in query.filters)
+        ]
+    if not query.filters:
+        plan.access_paths.append("full")
+        plan.docs_examined += segment.num_docs
+        return list(range(segment.num_docs))
+    docs: list[int] | None = None
+    for flt in query.filters:
+        selected = _resolve_filter(segment, flt, plan)
+        docs = selected if docs is None else intersect_sorted(docs, selected)
+        if not docs:
+            return []
+    return docs or []

@@ -1,0 +1,184 @@
+"""Realtime ingestion: Kafka partitions -> consuming segments -> sealed
+segments (Section 4.3).
+
+Each Kafka partition is consumed into a mutable "consuming" segment on the
+partition's owning server.  When the segment reaches the configured row
+threshold it is sealed: columnar forward indexes, the configured query
+indexes and (if configured) the star-tree are built; replicas receive a
+copy; and the backup strategy is invoked — synchronously blocking the
+partition under the centralized design, asynchronously under peer-to-peer.
+
+For upsert tables (Section 4.3.1) the input stream must be partitioned by
+the primary key (our Kafka producer's hash partitioner guarantees this
+when records are keyed by it), and every ingested row updates the owning
+server's per-partition UpsertManager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import PinotError
+from repro.common.metrics import MetricsRegistry
+from repro.kafka.cluster import KafkaCluster
+from repro.pinot.recovery import BackupHandle, SegmentBackupStrategy
+from repro.pinot.segment import MutableSegment
+from repro.pinot.server import PinotServer
+from repro.pinot.startree import StarTree
+from repro.pinot.table import TableConfig
+
+
+def segment_name(table: str, partition: int, sequence: int) -> str:
+    return f"{table}__{partition}__{sequence}"
+
+
+@dataclass
+class _PartitionState:
+    partition: int
+    owner: PinotServer
+    replicas: list[PinotServer]
+    position: int  # next Kafka offset to consume
+    consuming: MutableSegment
+    sequence: int = 0
+    sealed_segments: list[str] = field(default_factory=list)
+    pending_backup: BackupHandle | None = None
+
+    def blocked(self) -> bool:
+        return self.pending_backup is not None and not self.pending_backup.done
+
+
+class RealtimeIngestion:
+    """Drives one table's ingestion from one Kafka topic."""
+
+    def __init__(
+        self,
+        config: TableConfig,
+        kafka: KafkaCluster,
+        topic: str,
+        owners: dict[int, PinotServer],
+        replicas: dict[int, list[PinotServer]],
+        backup: SegmentBackupStrategy,
+    ) -> None:
+        self.config = config
+        self.kafka = kafka
+        self.topic = topic
+        self.backup = backup
+        self.metrics = MetricsRegistry(f"pinot.ingest.{config.name}")
+        self.partitions: dict[int, _PartitionState] = {}
+        for partition in range(kafka.partition_count(topic)):
+            if partition not in owners:
+                raise PinotError(f"partition {partition} has no owning server")
+            state = _PartitionState(
+                partition=partition,
+                owner=owners[partition],
+                replicas=replicas.get(partition, []),
+                position=kafka.start_offset(topic, partition),
+                consuming=MutableSegment(
+                    segment_name(config.name, partition, 0),
+                    partition,
+                    column_names=config.schema.field_names(),
+                ),
+            )
+            state.owner.host_segment(state.consuming)
+            self.partitions[partition] = state
+
+    # -- consumption ----------------------------------------------------------
+
+    def run_step(self, max_records_per_partition: int = 500) -> int:
+        """Consume one round across partitions; returns rows ingested.
+
+        A partition whose sealed segment still awaits synchronous backup
+        (centralized design) is skipped — that is the freshness violation
+        of Section 4.3.4.
+        """
+        ingested = 0
+        for state in self.partitions.values():
+            if state.blocked():
+                self.metrics.counter("blocked_polls").inc()
+                continue
+            if state.pending_backup is not None and state.pending_backup.done:
+                state.pending_backup = None
+            entries = self.kafka.fetch(
+                self.topic, state.partition, state.position,
+                max_records_per_partition,
+            )
+            for entry in entries:
+                row = dict(entry.record.value)
+                self.config.schema.validate(row)
+                doc_id = state.consuming.append(row)
+                state.position = entry.offset + 1
+                ingested += 1
+                if self.config.upsert_enabled:
+                    manager = state.owner.upsert_manager(
+                        self.config.name, state.partition
+                    )
+                    manager.apply(
+                        row[self.config.primary_key],
+                        state.consuming.name,
+                        doc_id,
+                    )
+                if state.consuming.num_docs >= self.config.segment_rows_threshold:
+                    self._seal(state)
+                    if state.blocked():
+                        break
+        self.metrics.counter("rows_ingested").inc(ingested)
+        return ingested
+
+    def _seal(self, state: _PartitionState) -> None:
+        sealed = state.consuming.seal(
+            index_config=self.config.index_config,
+            time_column=self.config.time_column,
+            column_names=self.config.schema.field_names(),
+        )
+        if self.config.startree_config is not None:
+            rows = [sealed.row(d) for d in range(sealed.num_docs)]
+            sealed.startree = StarTree(rows, self.config.startree_config)
+        # Owner replaces its consuming copy with the sealed one; replicas
+        # receive copies so they can serve (and later provide peer recovery).
+        state.owner.host_segment(sealed)
+        for replica in state.replicas:
+            if replica.alive:
+                replica.host_segment(sealed)
+        state.sealed_segments.append(sealed.name)
+        state.pending_backup = self.backup.request_backup(self.config.name, sealed)
+        state.sequence += 1
+        state.consuming = MutableSegment(
+            segment_name(self.config.name, state.partition, state.sequence),
+            state.partition,
+            column_names=self.config.schema.field_names(),
+        )
+        state.owner.host_segment(state.consuming)
+        self.metrics.counter("segments_sealed").inc()
+
+    # -- introspection -----------------------------------------------------------
+
+    def lag(self) -> int:
+        """Rows in Kafka not yet queryable (the freshness proxy)."""
+        total = 0
+        for state in self.partitions.values():
+            total += (
+                self.kafka.end_offset(self.topic, state.partition) - state.position
+            )
+        return total
+
+    def total_rows_ingested(self) -> int:
+        return self.metrics.counter("rows_ingested").value
+
+    def segments_of_partition(self, partition: int) -> list[str]:
+        """All segment names of a partition, consuming segment last."""
+        state = self.partitions[partition]
+        return state.sealed_segments + [state.consuming.name]
+
+    def run_until_caught_up(self, max_steps: int = 10_000,
+                            backup_steps_per_round: int = 1) -> int:
+        """Ingest (driving backup uploads too) until lag reaches zero."""
+        total = 0
+        for __ in range(max_steps):
+            total += self.run_step()
+            for __ in range(backup_steps_per_round):
+                self.backup.run_step()
+            if self.lag() == 0 and not any(
+                s.blocked() for s in self.partitions.values()
+            ):
+                return total
+        raise PinotError(f"ingestion did not catch up in {max_steps} steps")

@@ -1,0 +1,57 @@
+"""Table configuration (Section 4.3).
+
+A Pinot table is configured with its schema, time column, per-column
+indexes, an optional star-tree, and — for the upsert tables of
+Section 4.3.1 — a primary key, in which case the input stream must be
+partitioned by that key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import PinotError
+from repro.metadata.schema import Schema
+from repro.pinot.segment import IndexConfig
+from repro.pinot.startree import StarTreeConfig
+
+
+@dataclass
+class TableConfig:
+    name: str
+    schema: Schema
+    time_column: str | None = None
+    index_config: IndexConfig = field(default_factory=IndexConfig)
+    startree_config: StarTreeConfig | None = None
+    upsert_enabled: bool = False
+    primary_key: str | None = None
+    replicas: int = 2
+    segment_rows_threshold: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.upsert_enabled:
+            if self.primary_key is None:
+                raise PinotError(
+                    f"table {self.name!r}: upsert requires a primary key"
+                )
+            if self.index_config.sort_column is not None:
+                # Sealing re-orders docs, which would break the upsert
+                # manager's (segment, doc_id) locations.
+                raise PinotError(
+                    f"table {self.name!r}: upsert tables cannot use a sort column"
+                )
+            if self.startree_config is not None:
+                raise PinotError(
+                    f"table {self.name!r}: star-tree pre-aggregation cannot "
+                    "represent upserted (mutable) rows"
+                )
+        if self.primary_key is not None and not self.schema.has_field(self.primary_key):
+            raise PinotError(
+                f"table {self.name!r}: primary key {self.primary_key!r} "
+                "is not a schema field"
+            )
+        if self.time_column is not None and not self.schema.has_field(self.time_column):
+            raise PinotError(
+                f"table {self.name!r}: time column {self.time_column!r} "
+                "is not a schema field"
+            )

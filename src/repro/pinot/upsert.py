@@ -1,0 +1,77 @@
+"""Upsert support (Section 4.3.1).
+
+"The key technical challenge for upsert is tracking the locations of the
+records with the same primary key."  Uber's shared-nothing solution:
+partition the input stream by primary key so all records for a key land on
+one node, and track per-partition key locations locally; a partition-aware
+routing strategy then keeps each partition's subquery on its owning node.
+
+:class:`UpsertManager` is that per-partition location map: primary key ->
+(segment, doc id), plus the valid-doc-id sets the query executor consults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+
+@dataclass
+class UpsertManager:
+    """Primary-key location tracking for one partition of one table."""
+
+    table: str
+    partition: int
+    _locations: dict[Hashable, tuple[str, int]] = field(default_factory=dict)
+    _valid: dict[str, set[int]] = field(default_factory=dict)
+    upserts: int = 0
+    inserts: int = 0
+
+    def apply(self, primary_key: Hashable, segment_name: str, doc_id: int) -> None:
+        """Record that ``primary_key``'s latest version is at
+        (segment, doc).  Any previous location is invalidated."""
+        previous = self._locations.get(primary_key)
+        if previous is not None:
+            old_segment, old_doc = previous
+            valid = self._valid.get(old_segment)
+            if valid is not None:
+                valid.discard(old_doc)
+            self.upserts += 1
+        else:
+            self.inserts += 1
+        self._locations[primary_key] = (segment_name, doc_id)
+        self._valid.setdefault(segment_name, set()).add(doc_id)
+
+    def valid_docs(self, segment_name: str) -> set[int]:
+        """Doc ids of ``segment_name`` holding a key's latest version."""
+        return self._valid.get(segment_name, set())
+
+    def location(self, primary_key: Hashable) -> tuple[str, int] | None:
+        return self._locations.get(primary_key)
+
+    def key_count(self) -> int:
+        return len(self._locations)
+
+    def drop_segment(self, segment_name: str) -> None:
+        """Forget a segment (retention); keys whose latest version lived
+        there disappear from the table."""
+        self._valid.pop(segment_name, None)
+        dead = [
+            key
+            for key, (seg, __) in self._locations.items()
+            if seg == segment_name
+        ]
+        for key in dead:
+            del self._locations[key]
+
+    def rebuild_from_segments(self, segments: list[tuple[str, list[dict[str, Any]]]],
+                              primary_key: str) -> None:
+        """Bootstrap the location map by replaying segments in seal order
+        (server restart path: metadata is reconstructed, not checkpointed,
+        matching the shared-nothing design's recovery story)."""
+        self._locations.clear()
+        self._valid.clear()
+        self.upserts = self.inserts = 0
+        for segment_name, rows in segments:
+            for doc_id, row in enumerate(rows):
+                self.apply(row[primary_key], segment_name, doc_id)

@@ -1,0 +1,17 @@
+"""SQL layer: one dialect, two engines (Sections 4.2.1 and 4.5).
+
+``parser`` is the shared dialect; ``flinksql`` compiles it to streaming or
+batch Flink jobs; ``presto`` executes it interactively, federated across
+Pinot and Hive connectors with staged operator pushdown.
+"""
+
+from repro.sql.flinksql import FlinkSqlCompiler, SqlWindowAggregate, StreamTableDef
+from repro.sql.parser import Select, parse
+
+__all__ = [
+    "FlinkSqlCompiler",
+    "SqlWindowAggregate",
+    "StreamTableDef",
+    "Select",
+    "parse",
+]

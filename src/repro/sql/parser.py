@@ -1,0 +1,427 @@
+"""SQL lexer, AST and recursive-descent parser.
+
+One SQL dialect serves both layers of the paper:
+
+* **FlinkSQL** (Section 4.2.1): streaming queries with ``TUMBLE``/``HOP``
+  window functions in the GROUP BY.
+* **PrestoSQL** (Section 4.5): interactive queries with joins, subqueries
+  in FROM, and the operators the Pinot connector can push down.
+
+Grammar (informal)::
+
+    select      := SELECT select_item (',' select_item)*
+                   FROM table_source (JOIN table_source ON eq_cond)*
+                   [WHERE condition] [GROUP BY group_item (',' group_item)*]
+                   [HAVING condition] [ORDER BY order_item (',' order_item)*]
+                   [LIMIT number]
+    table_source:= ident [AS? ident] | '(' select ')' AS? ident
+    group_item  := expr | TUMBLE '(' ident ',' number ')'
+                        | HOP '(' ident ',' number ',' number ')'
+    condition   := disjunction of conjunctions of comparisons
+    comparison  := expr (=|!=|<>|>|>=|<|<=) expr | expr IN '(' literals ')'
+                 | expr BETWEEN literal AND literal
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import SqlParseError
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "AS", "AND", "OR", "NOT", "IN", "BETWEEN", "JOIN", "ON", "ASC", "DESC",
+    "TUMBLE", "HOP", "DISTINCT", "TRUE", "FALSE", "NULL", "INNER", "LEFT",
+}
+
+# Note: the leading '-' belongs to the number token (negative literals).
+# The dialect has no arithmetic expressions, so this never conflicts with
+# a binary minus.
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<op><>|!=|>=|<=|=|<|>)
+  | (?P<punct>[(),*])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'op' | 'punct' | 'eof'
+    text: str
+
+
+def tokenize(sql: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise SqlParseError(f"cannot tokenize at: {sql[pos:pos + 20]!r}")
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        if match.lastgroup == "ident":
+            upper = text.upper()
+            if upper in _KEYWORDS:
+                tokens.append(Token("keyword", upper))
+            else:
+                tokens.append(Token("ident", text))
+        else:
+            tokens.append(Token(match.lastgroup, text))
+    tokens.append(Token("eof", ""))
+    return tokens
+
+
+# --- AST ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    table: str | None = None
+
+    def qualified(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+
+@dataclass(frozen=True)
+class Star:
+    pass
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    name: str  # upper-cased
+    args: tuple
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Comparison:
+    op: str  # '=', '!=', '>', '>=', '<', '<=', 'IN', 'BETWEEN'
+    left: Any
+    right: Any = None
+    values: tuple = ()
+    low: Any = None
+    high: Any = None
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    op: str  # 'AND' | 'OR'
+    operands: tuple
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Any
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TumbleSpec:
+    time_column: str
+    size: float
+
+
+@dataclass(frozen=True)
+class HopSpec:
+    time_column: str
+    slide: float
+    size: float
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None = None
+
+
+@dataclass
+class SubqueryRef:
+    select: "Select"
+    alias: str
+
+
+@dataclass
+class JoinClause:
+    table: Any  # TableRef | SubqueryRef
+    left_key: Column
+    right_key: Column
+
+
+@dataclass
+class Select:
+    items: list[SelectItem]
+    source: Any  # TableRef | SubqueryRef
+    joins: list[JoinClause] = field(default_factory=list)
+    where: Any = None
+    group_by: list[Any] = field(default_factory=list)  # Column|TumbleSpec|HopSpec
+    having: Any = None
+    order_by: list[tuple[Any, bool]] = field(default_factory=list)
+    limit: int | None = None
+
+    def window(self) -> TumbleSpec | HopSpec | None:
+        for item in self.group_by:
+            if isinstance(item, (TumbleSpec, HopSpec)):
+                return item
+        return None
+
+    def group_columns(self) -> list[Column]:
+        return [g for g in self.group_by if isinstance(g, Column)]
+
+    def aggregations(self) -> list[tuple[FuncCall, str | None]]:
+        return [
+            (item.expr, item.alias)
+            for item in self.items
+            if isinstance(item.expr, FuncCall)
+        ]
+
+
+# --- parser ------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise SqlParseError(f"expected {want}, got {token.text!r}")
+        return self.advance()
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    # -- entry ---------------------------------------------------------------
+
+    def parse_select(self) -> Select:
+        self.expect("keyword", "SELECT")
+        items = [self._select_item()]
+        while self.accept("punct", ","):
+            items.append(self._select_item())
+        self.expect("keyword", "FROM")
+        source = self._table_source()
+        joins: list[JoinClause] = []
+        while True:
+            if self.accept("keyword", "INNER"):
+                self.expect("keyword", "JOIN")
+            elif not self.accept("keyword", "JOIN"):
+                break
+            table = self._table_source()
+            self.expect("keyword", "ON")
+            left = self._column()
+            self.expect("op", "=")
+            right = self._column()
+            joins.append(JoinClause(table, left, right))
+        where = None
+        if self.accept("keyword", "WHERE"):
+            where = self._condition()
+        group_by: list[Any] = []
+        if self.accept("keyword", "GROUP"):
+            self.expect("keyword", "BY")
+            group_by.append(self._group_item())
+            while self.accept("punct", ","):
+                group_by.append(self._group_item())
+        having = None
+        if self.accept("keyword", "HAVING"):
+            having = self._condition()
+        order_by: list[tuple[Any, bool]] = []
+        if self.accept("keyword", "ORDER"):
+            self.expect("keyword", "BY")
+            order_by.append(self._order_item())
+            while self.accept("punct", ","):
+                order_by.append(self._order_item())
+        limit = None
+        if self.accept("keyword", "LIMIT"):
+            limit = int(self.expect("number").text)
+        return Select(items, source, joins, where, group_by, having, order_by, limit)
+
+    # -- pieces -----------------------------------------------------------------
+
+    def _select_item(self) -> SelectItem:
+        expr = self._expr()
+        alias = None
+        if self.accept("keyword", "AS"):
+            alias = self.expect("ident").text
+        elif self.peek().kind == "ident":
+            alias = self.advance().text
+        return SelectItem(expr, alias)
+
+    def _table_source(self):
+        if self.accept("punct", "("):
+            select = self.parse_select()
+            self.expect("punct", ")")
+            self.accept("keyword", "AS")
+            alias = self.expect("ident").text
+            return SubqueryRef(select, alias)
+        name = self.expect("ident").text
+        alias = None
+        if self.accept("keyword", "AS"):
+            alias = self.expect("ident").text
+        elif self.peek().kind == "ident":
+            alias = self.advance().text
+        return TableRef(name, alias)
+
+    def _group_item(self):
+        token = self.peek()
+        if token.kind == "keyword" and token.text in ("TUMBLE", "HOP"):
+            self.advance()
+            self.expect("punct", "(")
+            column = self.expect("ident").text
+            self.expect("punct", ",")
+            first = float(self.expect("number").text)
+            if token.text == "TUMBLE":
+                self.expect("punct", ")")
+                return TumbleSpec(column, first)
+            self.expect("punct", ",")
+            size = float(self.expect("number").text)
+            self.expect("punct", ")")
+            return HopSpec(column, first, size)
+        return self._column()
+
+    def _order_item(self) -> tuple[Any, bool]:
+        expr = self._expr()
+        descending = False
+        if self.accept("keyword", "DESC"):
+            descending = True
+        else:
+            self.accept("keyword", "ASC")
+        return (expr, descending)
+
+    def _condition(self):
+        return self._disjunction()
+
+    def _disjunction(self):
+        operands = [self._conjunction()]
+        while self.accept("keyword", "OR"):
+            operands.append(self._conjunction())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("OR", tuple(operands))
+
+    def _conjunction(self):
+        operands = [self._comparison()]
+        while self.accept("keyword", "AND"):
+            operands.append(self._comparison())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("AND", tuple(operands))
+
+    def _comparison(self):
+        if self.accept("punct", "("):
+            inner = self._condition()
+            self.expect("punct", ")")
+            return inner
+        left = self._expr()
+        token = self.peek()
+        if token.kind == "op":
+            op = self.advance().text
+            if op == "<>":
+                op = "!="
+            right = self._expr()
+            return Comparison(op, left, right)
+        if token.kind == "keyword" and token.text == "IN":
+            self.advance()
+            self.expect("punct", "(")
+            values = [self._literal_value()]
+            while self.accept("punct", ","):
+                values.append(self._literal_value())
+            self.expect("punct", ")")
+            return Comparison("IN", left, values=tuple(values))
+        if token.kind == "keyword" and token.text == "BETWEEN":
+            self.advance()
+            low = self._literal_value()
+            self.expect("keyword", "AND")
+            high = self._literal_value()
+            return Comparison("BETWEEN", left, low=low, high=high)
+        raise SqlParseError(f"expected comparison operator, got {token.text!r}")
+
+    def _expr(self):
+        token = self.peek()
+        if token.kind == "punct" and token.text == "*":
+            self.advance()
+            return Star()
+        if token.kind == "number":
+            self.advance()
+            text = token.text
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.text[1:-1].replace("''", "'"))
+        if token.kind == "keyword" and token.text in ("TRUE", "FALSE"):
+            self.advance()
+            return Literal(token.text == "TRUE")
+        if token.kind == "keyword" and token.text == "NULL":
+            self.advance()
+            return Literal(None)
+        if token.kind == "ident":
+            name = self.advance().text
+            if self.peek().kind == "punct" and self.peek().text == "(":
+                return self._func_call(name)
+            return _to_column(name)
+        raise SqlParseError(f"unexpected token {token.text!r} in expression")
+
+    def _func_call(self, name: str) -> FuncCall:
+        self.expect("punct", "(")
+        distinct = bool(self.accept("keyword", "DISTINCT"))
+        args: list[Any] = []
+        if not (self.peek().kind == "punct" and self.peek().text == ")"):
+            args.append(self._expr())
+            while self.accept("punct", ","):
+                args.append(self._expr())
+        self.expect("punct", ")")
+        return FuncCall(name.upper(), tuple(args), distinct)
+
+    def _column(self) -> Column:
+        return _to_column(self.expect("ident").text)
+
+    def _literal_value(self) -> Any:
+        expr = self._expr()
+        if not isinstance(expr, Literal):
+            raise SqlParseError("expected a literal value")
+        return expr.value
+
+
+def _to_column(name: str) -> Column:
+    if "." in name:
+        table, __, column = name.partition(".")
+        return Column(column, table)
+    return Column(name)
+
+
+def parse(sql: str) -> Select:
+    """Parse one SELECT statement."""
+    parser = _Parser(tokenize(sql))
+    select = parser.parse_select()
+    if parser.peek().kind != "eof":
+        raise SqlParseError(f"trailing input at {parser.peek().text!r}")
+    return select

@@ -1,0 +1,25 @@
+"""Presto-style federated interactive SQL (Section 4.5)."""
+
+from repro.sql.presto.connector import (
+    HiveConnector,
+    MemoryConnector,
+    PinotConnector,
+    PushedAggregation,
+    PushedFilter,
+    ScanRequest,
+    ScanResult,
+)
+from repro.sql.presto.engine import PrestoEngine, QueryOutput, QueryStats
+
+__all__ = [
+    "HiveConnector",
+    "MemoryConnector",
+    "PinotConnector",
+    "PushedAggregation",
+    "PushedFilter",
+    "ScanRequest",
+    "ScanResult",
+    "PrestoEngine",
+    "QueryOutput",
+    "QueryStats",
+]

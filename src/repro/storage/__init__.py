@@ -1,0 +1,19 @@
+"""Storage layer: blob store, HDFS simulation, columnar files, Hive."""
+
+from repro.storage.blobstore import BlobStat, BlobStore
+from repro.storage.columnar import ColumnarFile, ColumnStats
+from repro.storage.hdfs import HdfsCluster
+from repro.storage.hive import HiveMetastore, HiveTable
+from repro.storage.rawlogs import RawLogArchiver, compact_to_hive
+
+__all__ = [
+    "BlobStat",
+    "BlobStore",
+    "ColumnarFile",
+    "ColumnStats",
+    "HdfsCluster",
+    "HiveMetastore",
+    "HiveTable",
+    "RawLogArchiver",
+    "compact_to_hive",
+]

@@ -1,0 +1,134 @@
+"""Raw-log landing and compaction (Section 4.4).
+
+"Most of this data comes from Kafka which is in Avro format and is
+persisted in HDFS as raw logs.  These logs are then merged into the long
+term Parquet data format using a compaction process."
+
+:class:`RawLogArchiver` batches records into append-order raw log files;
+:func:`compact_to_hive` merges the raw logs of a time range into columnar
+Hive partitions.  The Hive output is what backfill (Section 7) reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.common import serde
+from repro.common.errors import StorageError
+from repro.common.records import Record
+from repro.storage.blobstore import BlobStore
+from repro.storage.hive import HiveTable
+
+
+@dataclass(frozen=True, slots=True)
+class RawLogFile:
+    key: str
+    record_count: int
+    min_event_time: float
+    max_event_time: float
+
+
+class RawLogArchiver:
+    """Archives streams of records as raw log files in the blob store."""
+
+    def __init__(
+        self,
+        store: BlobStore,
+        topic: str,
+        batch_size: int = 1000,
+    ) -> None:
+        if batch_size < 1:
+            raise StorageError(f"batch_size must be >= 1, got {batch_size}")
+        self._store = store
+        self.topic = topic
+        self.batch_size = batch_size
+        self._buffer: list[Record] = []
+        self._files: list[RawLogFile] = []
+        self._file_counter = 0
+
+    def append(self, record: Record) -> None:
+        self._buffer.append(record)
+        if len(self._buffer) >= self.batch_size:
+            self.flush()
+
+    def extend(self, records: Iterable[Record]) -> None:
+        for record in records:
+            self.append(record)
+
+    def flush(self) -> RawLogFile | None:
+        if not self._buffer:
+            return None
+        payload = [
+            {
+                "key": r.key,
+                "value": r.value,
+                "event_time": r.event_time,
+                "headers": dict(r.headers),
+            }
+            for r in self._buffer
+        ]
+        key = f"rawlogs/{self.topic}/file-{self._file_counter:06d}.avro"
+        self._file_counter += 1
+        self._store.put(key, serde.encode(payload))
+        log_file = RawLogFile(
+            key=key,
+            record_count=len(self._buffer),
+            min_event_time=min(r.event_time for r in self._buffer),
+            max_event_time=max(r.event_time for r in self._buffer),
+        )
+        self._files.append(log_file)
+        self._buffer = []
+        return log_file
+
+    def files(self) -> list[RawLogFile]:
+        return list(self._files)
+
+    def read_file(self, key: str) -> list[Record]:
+        payload = serde.decode(self._store.get(key))
+        return [
+            Record(
+                key=item["key"],
+                value=item["value"],
+                event_time=item["event_time"],
+                headers=item["headers"],
+            )
+            for item in payload
+        ]
+
+    def read_range(self, start_time: float, end_time: float) -> list[Record]:
+        """All archived records with event_time in [start, end)."""
+        out: list[Record] = []
+        for log_file in self._files:
+            if log_file.max_event_time < start_time or log_file.min_event_time >= end_time:
+                continue
+            for record in self.read_file(log_file.key):
+                if start_time <= record.event_time < end_time:
+                    out.append(record)
+        return out
+
+
+def compact_to_hive(
+    archiver: RawLogArchiver,
+    table: HiveTable,
+    partition_of,
+    row_of=None,
+) -> int:
+    """Merge all raw log files into Hive partitions.
+
+    ``partition_of(record) -> str`` chooses the partition key (usually a
+    day string derived from event time).  ``row_of(record) -> dict``
+    converts a record into a table row; by default the record value is the
+    row.  Returns the number of rows written.
+    """
+    by_partition: dict[str, list[dict[str, Any]]] = {}
+    for log_file in archiver.files():
+        for record in archiver.read_file(log_file.key):
+            row = row_of(record) if row_of is not None else dict(record.value)
+            by_partition.setdefault(partition_of(record), []).append(row)
+    written = 0
+    for partition_key in sorted(by_partition):
+        rows = by_partition[partition_key]
+        table.add_rows(partition_key, rows)
+        written += len(rows)
+    return written

@@ -1,0 +1,27 @@
+"""The four representative use cases of Section 5, one per category."""
+
+from repro.usecases.components import LAYERS, ComponentTrace, render_table
+from repro.usecases.eats_ops import EatsOpsAutomation, OpsAlert, OpsRule
+from repro.usecases.prediction import PredictionMonitoring
+from repro.usecases.restaurant import RestaurantManager
+from repro.usecases.surge import (
+    ActiveActiveSurge,
+    SurgeUpdate,
+    build_surge_job,
+    surge_multiplier,
+)
+
+__all__ = [
+    "LAYERS",
+    "ComponentTrace",
+    "render_table",
+    "EatsOpsAutomation",
+    "OpsAlert",
+    "OpsRule",
+    "PredictionMonitoring",
+    "RestaurantManager",
+    "ActiveActiveSurge",
+    "SurgeUpdate",
+    "build_surge_job",
+    "surge_multiplier",
+]

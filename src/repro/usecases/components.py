@@ -1,0 +1,50 @@
+"""Component-usage tracing for the Table 1 reproduction.
+
+Table 1 of the paper records which of the six logical layers (Figure 2)
+each representative use case exercises.  Instead of hard-coding the
+matrix, each use-case pipeline records the layers it actually wires, and
+the T1 bench renders the table from those traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+LAYERS = ("API", "SQL", "OLAP", "Compute", "Stream", "Storage")
+
+
+@dataclass
+class ComponentTrace:
+    """Layers touched by one use case, recorded as it is constructed."""
+
+    use_case: str
+    used: set[str] = field(default_factory=set)
+
+    def use(self, layer: str) -> None:
+        if layer not in LAYERS:
+            raise ValueError(f"unknown layer {layer!r}; expected one of {LAYERS}")
+        self.used.add(layer)
+
+    def row(self) -> dict[str, str]:
+        """Table 1 row: layer -> 'Y' or ''."""
+        return {layer: ("Y" if layer in self.used else "") for layer in LAYERS}
+
+
+def render_table(traces: list[ComponentTrace]) -> str:
+    """Render the Table 1 matrix as aligned text."""
+    header = ["Component"] + [t.use_case for t in traces]
+    rows = []
+    for layer in LAYERS:
+        rows.append(
+            [layer] + [("Y" if layer in t.used else "") for t in traces]
+        )
+    widths = [
+        max(len(str(row[i])) for row in [header] + rows)
+        for i in range(len(header))
+    ]
+    lines = []
+    for row in [header] + rows:
+        lines.append(
+            "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Seeded synthetic workloads standing in for Uber's production traffic."""
+
+from repro.workloads.eats import EatsWorkload
+from repro.workloads.predictions import PredictionWorkload
+from repro.workloads.trips import DriverStatusEvent, TripEvent, TripWorkload
+
+__all__ = [
+    "EatsWorkload",
+    "PredictionWorkload",
+    "DriverStatusEvent",
+    "TripEvent",
+    "TripWorkload",
+]

@@ -1,0 +1,138 @@
+"""Synthetic UberEats workload: orders, carts, courier telemetry
+(Sections 5.2, 5.4).
+
+Restaurant popularity is Zipf-distributed (dashboards must handle hot
+restaurants), order lifecycles produce correction events (the upsert
+workload: delivery-status updates and fare corrections against the same
+order id), and courier telemetry gives the ops-automation rules something
+to count per geofence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.hexgrid import HexGrid
+from repro.common.rng import seeded_rng, zipf_sampler
+from repro.workloads.trips import DEFAULT_CITY
+
+MENU_ITEMS = [
+    "burger", "pizza", "sushi", "salad", "tacos", "noodles", "curry",
+    "sandwich", "wings", "dumplings", "pasta", "bowl",
+]
+
+ORDER_STATUSES = ["placed", "accepted", "picked_up", "delivered"]
+
+
+@dataclass
+class EatsWorkload:
+    seed: int = 7
+    restaurants: int = 50
+    eaters: int = 2000
+    couriers: int = 300
+    restaurant_skew: float = 1.1
+    cancel_rate: float = 0.08
+    abandon_rate: float = 0.05
+    correction_rate: float = 0.06
+    orders_per_second: float = 3.0
+    grid: HexGrid = field(
+        default_factory=lambda: HexGrid(DEFAULT_CITY[0], DEFAULT_CITY[1], 800.0)
+    )
+
+    def __post_init__(self) -> None:
+        rng = seeded_rng(self.seed, "locations")
+        self._restaurant_coords = [
+            (
+                DEFAULT_CITY[0] + rng.uniform(-0.05, 0.05),
+                DEFAULT_CITY[1] + rng.uniform(-0.05, 0.05),
+            )
+            for __ in range(self.restaurants)
+        ]
+
+    def order_events(
+        self, duration_seconds: float, start_time: float = 0.0
+    ) -> Iterator[tuple[dict, float]]:
+        """Yield (order_event_row, arrival_time).
+
+        Each order id emits a lifecycle of status rows; ``correction_rate``
+        of delivered orders later receive a fare correction — the same
+        order id with a new fare, i.e. the upsert workload of
+        Section 4.3.1.
+        """
+        rng = seeded_rng(self.seed, "orders")
+        pick_restaurant = zipf_sampler(rng, self.restaurants, self.restaurant_skew)
+        order_counter = 0
+        now = start_time
+        interval = 1.0 / self.orders_per_second
+        while now < start_time + duration_seconds:
+            now += rng.expovariate(1.0) * interval
+            order_counter += 1
+            order_id = f"order-{self.seed}-{order_counter}"
+            restaurant = pick_restaurant()
+            lat, lon = self._restaurant_coords[restaurant]
+            cell = self.grid.cell_for(lat, lon)
+            base = {
+                "order_id": order_id,
+                "restaurant_id": f"rest-{restaurant}",
+                "eater_id": f"eater-{rng.randrange(self.eaters)}",
+                "courier_id": f"courier-{rng.randrange(self.couriers)}",
+                "item": rng.choice(MENU_ITEMS),
+                "hex_id": cell.cell_id(),
+                "amount": round(rng.uniform(8.0, 60.0), 2),
+            }
+            if rng.random() < self.abandon_rate:
+                yield {**base, "status": "cart_abandoned", "event_time": now}, now
+                continue
+            event_time = now
+            cancelled = rng.random() < self.cancel_rate
+            for index, status in enumerate(ORDER_STATUSES):
+                yield {**base, "status": status, "event_time": event_time}, event_time
+                if cancelled and index == 0:
+                    cancel_time = event_time + rng.uniform(10, 120)
+                    yield (
+                        {**base, "status": "cancelled", "event_time": cancel_time},
+                        cancel_time,
+                    )
+                    break
+                event_time += rng.uniform(60, 420)
+            else:
+                if rng.random() < self.correction_rate:
+                    corrected = dict(base)
+                    corrected["amount"] = round(
+                        base["amount"] * rng.uniform(0.5, 0.95), 2
+                    )
+                    correction_time = event_time + rng.uniform(300, 3600)
+                    yield (
+                        {
+                            **corrected,
+                            "status": "fare_corrected",
+                            "event_time": correction_time,
+                        },
+                        correction_time,
+                    )
+
+    def courier_telemetry(
+        self, duration_seconds: float, start_time: float = 0.0,
+        pings_per_second: float = 10.0,
+    ) -> Iterator[tuple[dict, float]]:
+        """Courier location pings per geofence (the §5.4 occupancy input)."""
+        rng = seeded_rng(self.seed, "couriers")
+        now = start_time
+        interval = 1.0 / pings_per_second
+        while now < start_time + duration_seconds:
+            now += rng.expovariate(1.0) * interval
+            restaurant = rng.randrange(self.restaurants)
+            lat, lon = self._restaurant_coords[restaurant]
+            cell = self.grid.cell_for(
+                lat + rng.gauss(0, 0.001), lon + rng.gauss(0, 0.001)
+            )
+            yield (
+                {
+                    "courier_id": f"courier-{rng.randrange(self.couriers)}",
+                    "hex_id": cell.cell_id(),
+                    "restaurant_id": f"rest-{restaurant}",
+                    "event_time": now,
+                },
+                now,
+            )

@@ -1,0 +1,79 @@
+"""Synthetic ML prediction/outcome streams (Section 5.3).
+
+"With thousands of ML models deployed and each model with hundreds of
+features, there are several hundreds of thousands of time series" — the
+defining property is *cardinality*: models x features.  Each prediction
+later receives an observed outcome; the monitoring pipeline joins the two
+to measure live model accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.rng import seeded_rng
+
+
+@dataclass
+class PredictionWorkload:
+    seed: int = 11
+    models: int = 20
+    features_per_model: int = 10
+    predictions_per_second: float = 20.0
+    outcome_delay_range: tuple[float, float] = (30.0, 600.0)
+    outcome_loss_rate: float = 0.02  # labels that never arrive
+    drifting_models: frozenset[int] = frozenset({3})  # inject accuracy drift
+
+    def streams(
+        self, duration_seconds: float, start_time: float = 0.0
+    ) -> Iterator[tuple[str, dict, float]]:
+        """Yield ('prediction'|'outcome', row, arrival_time).
+
+        Predictions for drifting models develop growing error over time —
+        the anomaly the monitoring pipeline must surface.
+        """
+        rng = seeded_rng(self.seed, "predictions")
+        counter = 0
+        now = start_time
+        interval = 1.0 / self.predictions_per_second
+        pending: list[tuple[float, dict]] = []
+        while now < start_time + duration_seconds:
+            now += rng.expovariate(1.0) * interval
+            counter += 1
+            model = rng.randrange(self.models)
+            feature = rng.randrange(self.features_per_model)
+            truth = rng.uniform(0.0, 1.0)
+            noise = rng.gauss(0, 0.05)
+            drift = 0.0
+            if model in self.drifting_models:
+                progress = (now - start_time) / duration_seconds
+                drift = 0.4 * progress  # error grows through the run
+            prediction_row = {
+                "prediction_id": f"pred-{self.seed}-{counter}",
+                "model_id": f"model-{model}",
+                "feature_id": f"feature-{model}-{feature}",
+                "predicted": max(0.0, min(1.0, truth + noise + drift)),
+                "event_time": now,
+            }
+            yield ("prediction", prediction_row, now)
+            if rng.random() >= self.outcome_loss_rate:
+                delay = rng.uniform(*self.outcome_delay_range)
+                outcome_row = {
+                    "prediction_id": prediction_row["prediction_id"],
+                    "model_id": prediction_row["model_id"],
+                    "feature_id": prediction_row["feature_id"],
+                    "observed": truth,
+                    "event_time": now + delay,
+                }
+                pending.append((now + delay, outcome_row))
+            # Release outcomes whose time has come, in arrival order.
+            pending.sort(key=lambda item: item[0])
+            while pending and pending[0][0] <= now:
+                arrival, row = pending.pop(0)
+                yield ("outcome", row, arrival)
+        for arrival, row in sorted(pending, key=lambda item: item[0]):
+            yield ("outcome", row, arrival)
+
+    def series_cardinality(self) -> int:
+        return self.models * self.features_per_model

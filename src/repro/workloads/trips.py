@@ -1,0 +1,157 @@
+"""Synthetic ride-hailing workload: trips and driver status (Section 5.1).
+
+Seeded generators that preserve the properties surge pricing cares about:
+spatial demand concentrated in hotspots (Zipf over hex cells around a city
+center), supply that lags demand, time-varying intensity, and a
+configurable fraction of late-arriving events (which surge must drop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.hexgrid import HexGrid
+from repro.common.rng import seeded_rng, zipf_sampler
+
+# San-Francisco-ish origin; any city works, only relative geometry matters.
+DEFAULT_CITY = (37.7749, -122.4194)
+
+
+@dataclass
+class TripEvent:
+    kind: str  # trip_requested | trip_started | trip_completed
+    trip_id: str
+    rider_id: str
+    driver_id: str | None
+    lat: float
+    lon: float
+    hex_id: str
+    fare: float
+    event_time: float
+
+    def to_row(self) -> dict:
+        return {
+            "kind": self.kind,
+            "trip_id": self.trip_id,
+            "rider_id": self.rider_id,
+            "driver_id": self.driver_id,
+            "lat": self.lat,
+            "lon": self.lon,
+            "hex_id": self.hex_id,
+            "fare": self.fare,
+            "event_time": self.event_time,
+        }
+
+
+@dataclass
+class DriverStatusEvent:
+    kind: str  # driver_available | driver_busy
+    driver_id: str
+    lat: float
+    lon: float
+    hex_id: str
+    event_time: float
+
+    def to_row(self) -> dict:
+        return {
+            "kind": self.kind,
+            "driver_id": self.driver_id,
+            "lat": self.lat,
+            "lon": self.lon,
+            "hex_id": self.hex_id,
+            "event_time": self.event_time,
+        }
+
+
+@dataclass
+class TripWorkload:
+    """Generates interleaved trip and driver-status events."""
+
+    seed: int = 42
+    hotspots: int = 12
+    drivers: int = 200
+    riders: int = 1000
+    demand_skew: float = 1.2
+    late_fraction: float = 0.02
+    max_lateness: float = 300.0
+    requests_per_second: float = 5.0
+    grid: HexGrid = field(
+        default_factory=lambda: HexGrid(DEFAULT_CITY[0], DEFAULT_CITY[1], 500.0)
+    )
+
+    def __post_init__(self) -> None:
+        rng = seeded_rng(self.seed, "hotspots")
+        # Hotspot centers spread a few km around the city center.
+        self._hotspot_coords = [
+            (
+                DEFAULT_CITY[0] + rng.uniform(-0.04, 0.04),
+                DEFAULT_CITY[1] + rng.uniform(-0.04, 0.04),
+            )
+            for __ in range(self.hotspots)
+        ]
+
+    def events(self, duration_seconds: float, start_time: float = 0.0) -> Iterator:
+        """Yield (event, event_time) ordered by *arrival* time: a fraction
+        of events carries an event_time in the past (late data)."""
+        rng = seeded_rng(self.seed, "trips")
+        hotspot_of = zipf_sampler(rng, self.hotspots, self.demand_skew)
+        trip_counter = 0
+        now = start_time
+        interval = 1.0 / self.requests_per_second
+        while now < start_time + duration_seconds:
+            now += rng.expovariate(1.0) * interval
+            hotspot = hotspot_of()
+            lat0, lon0 = self._hotspot_coords[hotspot]
+            lat = lat0 + rng.gauss(0, 0.002)
+            lon = lon0 + rng.gauss(0, 0.002)
+            cell = self.grid.cell_for(lat, lon)
+            trip_counter += 1
+            trip_id = f"trip-{self.seed}-{trip_counter}"
+            rider = f"rider-{rng.randrange(self.riders)}"
+            driver = f"driver-{rng.randrange(self.drivers)}"
+            event_time = now
+            if rng.random() < self.late_fraction:
+                event_time = max(start_time, now - rng.uniform(0, self.max_lateness))
+            yield (
+                TripEvent(
+                    "trip_requested",
+                    trip_id,
+                    rider,
+                    None,
+                    lat,
+                    lon,
+                    cell.cell_id(),
+                    0.0,
+                    event_time,
+                ),
+                now,
+            )
+            # Supply signal: drivers flip status around the same cells.
+            if rng.random() < 0.6:
+                status = (
+                    "driver_available" if rng.random() < 0.55 else "driver_busy"
+                )
+                yield (
+                    DriverStatusEvent(
+                        status, driver, lat, lon, cell.cell_id(), now
+                    ),
+                    now,
+                )
+            if rng.random() < 0.8:
+                fare = round(rng.uniform(6.0, 45.0), 2)
+                completion = now + rng.uniform(120, 900)
+                yield (
+                    TripEvent(
+                        "trip_completed",
+                        trip_id,
+                        rider,
+                        driver,
+                        lat,
+                        lon,
+                        cell.cell_id(),
+                        fare,
+                        completion,
+                    ),
+                    completion,
+                )

@@ -1,0 +1,206 @@
+import pytest
+
+from repro.allactive.coordinator import AllActiveCoordinator, UpdateService
+from repro.allactive.offsetsync import OffsetSyncJob, evaluate_failover
+from repro.allactive.region import MultiRegionDeployment
+from repro.allactive.replicated_db import ReplicatedKV
+from repro.common.clock import SimulatedClock
+from repro.common.errors import NoHealthyRegionError, RegionError
+from repro.kafka.cluster import TopicConfig
+from repro.kafka.consumer import Consumer, GroupCoordinator
+from repro.kafka.ureplicator import UReplicator
+
+
+def deployment_with_topic(regions=("west", "east"), partitions=2):
+    deployment = MultiRegionDeployment(list(regions), clock=SimulatedClock())
+    deployment.create_topic("t", TopicConfig(partitions=partitions))
+    return deployment
+
+
+def produce(deployment, region, count, start=0):
+    producer = deployment.producer(region, "svc")
+    for i in range(start, start + count):
+        deployment.clock.advance(1.0)
+        producer.send("t", {"i": i, "region": region}, key=f"k{i}")
+    producer.flush()
+
+
+class TestDeployment:
+    def test_needs_two_regions(self):
+        with pytest.raises(RegionError):
+            MultiRegionDeployment(["solo"])
+
+    def test_aggregate_clusters_converge_to_global_view(self):
+        deployment = deployment_with_topic()
+        produce(deployment, "west", 30)
+        produce(deployment, "east", 20)
+        deployment.replicate_until_converged()
+        for region in deployment.regions.values():
+            total = sum(
+                region.aggregate.end_offset("t", p) for p in range(2)
+            )
+            assert total == 50
+
+    def test_failed_region_stops_contributing(self):
+        deployment = deployment_with_topic()
+        produce(deployment, "west", 10)
+        deployment.fail_region("west")
+        produce(deployment, "east", 10)
+        deployment.replicate_until_converged()
+        east_total = sum(
+            deployment.region("east").aggregate.end_offset("t", p)
+            for p in range(2)
+        )
+        assert east_total == 10  # west's messages stuck in its region
+
+
+class TestCoordinator:
+    def test_primary_stable_while_healthy(self):
+        deployment = deployment_with_topic()
+        coordinator = AllActiveCoordinator(deployment)
+        primary = coordinator.primary
+        assert coordinator.elect() == primary
+        assert coordinator.failovers == 0
+
+    def test_failover_elects_new_primary(self):
+        deployment = deployment_with_topic()
+        coordinator = AllActiveCoordinator(deployment)
+        first = coordinator.primary
+        second = coordinator.fail_region(first)
+        assert second != first
+        assert coordinator.failovers == 1
+
+    def test_all_regions_down(self):
+        deployment = deployment_with_topic()
+        coordinator = AllActiveCoordinator(deployment)
+        for name in list(deployment.regions):
+            deployment.fail_region(name)
+        with pytest.raises(NoHealthyRegionError):
+            coordinator.elect()
+
+    def test_failover_listeners_invoked(self):
+        deployment = deployment_with_topic()
+        coordinator = AllActiveCoordinator(deployment)
+        seen = []
+        coordinator.on_failover(seen.append)
+        coordinator.fail_region(coordinator.primary)
+        assert seen == [coordinator.primary]
+
+    def test_update_service_gates_on_primary(self):
+        deployment = deployment_with_topic()
+        coordinator = AllActiveCoordinator(deployment)
+        kv = ReplicatedKV(list(deployment.regions))
+        primary = coordinator.primary
+        standby = next(n for n in deployment.regions if n != primary)
+        primary_service = UpdateService(primary, coordinator, kv)
+        standby_service = UpdateService(standby, coordinator, kv)
+        assert primary_service.publish("k", 1, 1.0)
+        assert not standby_service.publish("k", 2, 2.0)
+        assert standby_service.suppressed == 1
+        assert kv.get(primary, "k") == 1
+
+
+class TestReplicatedKV:
+    def test_lww_on_conflict(self):
+        kv = ReplicatedKV(["a", "b"])
+        kv.put("a", "k", "old", timestamp=1.0)
+        kv.put("b", "k", "new", timestamp=2.0)
+        kv.replicate()
+        assert kv.get("a", "k") == "new"
+        assert kv.get("b", "k") == "new"
+        assert kv.divergent_keys() == []
+
+    def test_divergence_visible_before_replication(self):
+        kv = ReplicatedKV(["a", "b"])
+        kv.put("a", "k", 1, timestamp=1.0)
+        assert kv.divergent_keys() == ["k"]
+        kv.replicate()
+        assert kv.divergent_keys() == []
+
+    def test_tie_broken_deterministically(self):
+        kv = ReplicatedKV(["a", "b"])
+        kv.put("a", "k", "from-a", timestamp=5.0)
+        kv.put("b", "k", "from-b", timestamp=5.0)
+        kv.replicate()
+        assert kv.get("a", "k") == kv.get("b", "k") == "from-b"
+
+    def test_unknown_region(self):
+        with pytest.raises(RegionError):
+            ReplicatedKV(["a"]).get("z", "k")
+
+
+class TestOffsetSync:
+    def _setup(self):
+        """Figure 7's pipe: the active region's cluster is mirrored by a
+        dedicated uReplicator into the passive region's cluster, with
+        offset-mapping checkpoints along the way."""
+        deployment = deployment_with_topic(partitions=1)
+        produce(deployment, "west", 200)
+        deployment.replicate_until_converged()
+        west = deployment.region("west")
+        from repro.kafka.cluster import KafkaCluster
+
+        passive = KafkaCluster("east-passive", 3, clock=deployment.clock)
+        mirror = UReplicator(
+            west.aggregate, passive, "t",
+            checkpoint_store=deployment.offset_store, checkpoint_interval=20,
+        )
+        mirror.run_to_completion()
+        mirror.checkpoint_all()
+        return deployment, west, passive, mirror
+
+    def test_sync_translates_committed_offsets(self):
+        deployment, west, passive, mirror = self._setup()
+        west_coord = GroupCoordinator(west.aggregate)
+        east_coord = GroupCoordinator(passive)
+        consumer = Consumer(west.aggregate, west_coord, "g", "t", "m0")
+        consumed = 0
+        while consumed < 150:
+            consumed += len(consumer.poll(50))
+        consumer.commit()
+        sync = OffsetSyncJob(
+            deployment.offset_store, mirror.route, west.aggregate,
+            west_coord, east_coord, "g", "t",
+        )
+        synced = sync.sync_once()
+        assert synced
+        # Conservative: synced offset <= actual position, never beyond.
+        assert 0 < synced[0] <= 150
+
+    def test_failover_strategies_tradeoff(self):
+        deployment, west, passive, mirror = self._setup()
+        west_coord = GroupCoordinator(west.aggregate)
+        east_coord = GroupCoordinator(passive)
+        consumer = Consumer(west.aggregate, west_coord, "g", "t", "m0")
+        consumed = 0
+        while consumed < 150:
+            consumed += len(consumer.poll(50))
+        consumer.commit()
+        OffsetSyncJob(
+            deployment.offset_store, mirror.route, west.aggregate,
+            west_coord, east_coord, "g", "t",
+        ).sync_once()
+        processed_through = {0: 150}
+        synced = evaluate_failover(
+            "synced", passive, east_coord, "g", "t", processed_through
+        )
+        latest = evaluate_failover(
+            "latest", passive, east_coord, "g", "t", processed_through
+        )
+        earliest = evaluate_failover(
+            "earliest", passive, east_coord, "g", "t", processed_through
+        )
+        # The paper's trade-off: synced loses nothing with small
+        # redelivery; latest loses data; earliest redelivers everything.
+        assert synced.lost_messages == 0
+        assert synced.redelivered_messages < earliest.redelivered_messages
+        assert latest.lost_messages > 0
+        assert earliest.redelivered_messages == 150
+
+    def test_unknown_strategy(self):
+        deployment, west, passive, __ = self._setup()
+        with pytest.raises(RegionError):
+            evaluate_failover(
+                "coinflip", passive, GroupCoordinator(passive),
+                "g", "t", {},
+            )

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.kafka.cluster import KafkaCluster, TopicConfig
+from repro.kafka.consumer import GroupCoordinator
+from repro.kafka.producer import Producer
+from repro.pinot.controller import PinotController
+from repro.pinot.recovery import PeerToPeerBackup
+from repro.pinot.server import PinotServer
+from repro.storage.blobstore import BlobStore
+
+
+@pytest.fixture
+def clock() -> SimulatedClock:
+    return SimulatedClock()
+
+
+@pytest.fixture
+def kafka(clock: SimulatedClock) -> KafkaCluster:
+    cluster = KafkaCluster("test", num_brokers=3, clock=clock)
+    cluster.create_topic("events", TopicConfig(partitions=4))
+    return cluster
+
+
+@pytest.fixture
+def producer(kafka: KafkaCluster, clock: SimulatedClock) -> Producer:
+    return Producer(kafka, service_name="test-svc", clock=clock)
+
+
+@pytest.fixture
+def coordinator(kafka: KafkaCluster) -> GroupCoordinator:
+    return GroupCoordinator(kafka)
+
+
+@pytest.fixture
+def blob_store() -> BlobStore:
+    return BlobStore("test-store")
+
+
+@pytest.fixture
+def pinot_servers() -> list[PinotServer]:
+    return [PinotServer(f"server-{i}") for i in range(3)]
+
+
+@pytest.fixture
+def pinot_controller(pinot_servers, blob_store) -> PinotController:
+    return PinotController(pinot_servers, PeerToPeerBackup(blob_store))
+
+
+def produce_events(
+    producer: Producer,
+    clock: SimulatedClock,
+    topic: str,
+    count: int,
+    key_fn=lambda i: f"key-{i % 5}",
+    value_fn=lambda i, t: {"i": i, "event_time": t},
+    dt: float = 1.0,
+) -> None:
+    """Produce ``count`` events advancing simulated time by ``dt`` each."""
+    for i in range(count):
+        clock.advance(dt)
+        producer.send(topic, value_fn(i, clock.now()), key=key_fn(i))
+    producer.flush()

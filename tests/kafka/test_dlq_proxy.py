@@ -1,0 +1,162 @@
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.kafka.cluster import KafkaCluster, TopicConfig
+from repro.kafka.consumer import Consumer, GroupCoordinator
+from repro.kafka.dlq import DlqConsumer, FailurePolicy
+from repro.kafka.producer import Producer
+from repro.kafka.proxy import (
+    ConsumerProxy,
+    UniformEndpoint,
+    polling_group_makespan,
+)
+
+
+def setup_topic(partitions=4, count=40, poison=lambda i: i == 7):
+    clock = SimulatedClock()
+    cluster = KafkaCluster("c", 3, clock=clock)
+    cluster.create_topic("t", TopicConfig(partitions=partitions))
+    producer = Producer(cluster, "svc", clock=clock)
+    for i in range(count):
+        clock.advance(1.0)
+        producer.send("t", {"i": i, "poison": poison(i)}, key=f"k{i}")
+    producer.flush()
+    return clock, cluster
+
+
+def failing_handler(message):
+    if message.entry.record.value.get("poison"):
+        raise RuntimeError("cannot process")
+
+
+class TestDlq:
+    def _consumer(self, cluster, policy, max_retries=2):
+        coordinator = GroupCoordinator(cluster)
+        consumer = Consumer(cluster, coordinator, "g", "t", "m0")
+        return DlqConsumer(cluster, consumer, failing_handler, policy, max_retries)
+
+    def test_dlq_keeps_stream_flowing(self):
+        __, cluster = setup_topic()
+        dlq = self._consumer(cluster, FailurePolicy.DLQ)
+        completed = 0
+        for __ in range(20):
+            completed += dlq.process_batch(1000)
+        assert completed == 40
+        assert dlq.stats.dead_lettered == 1
+        assert dlq.stats.processed == 39
+        assert len(dlq.dead_letters()) == 1
+
+    def test_drop_loses_poison(self):
+        __, cluster = setup_topic()
+        dlq = self._consumer(cluster, FailurePolicy.DROP)
+        for __ in range(20):
+            dlq.process_batch(1000)
+        assert dlq.stats.dropped == 1
+        assert dlq.stats.processed == 39
+
+    def test_block_stalls_partition(self):
+        __, cluster = setup_topic(partitions=1, count=20)
+        dlq = self._consumer(cluster, FailurePolicy.BLOCK)
+        for __ in range(10):
+            dlq.process_batch(1000)
+        # Everything after the poison message is stuck behind it.
+        assert dlq.stats.blocked_on is not None
+        assert dlq.stats.processed == 7  # records 0..6
+
+    def test_merge_reinjects_dead_letters(self):
+        __, cluster = setup_topic()
+        dlq = self._consumer(cluster, FailurePolicy.DLQ)
+        for __ in range(20):
+            dlq.process_batch(1000)
+        merged = dlq.merge_dead_letters()
+        assert merged == 1
+        # The merged record is back on the live topic (will fail again,
+        # but that's the user's call).
+        end = sum(cluster.end_offset("t", p) for p in range(4))
+        assert end == 41
+
+    def test_purge_forgets_dead_letters(self):
+        __, cluster = setup_topic()
+        dlq = self._consumer(cluster, FailurePolicy.DLQ)
+        for __ in range(20):
+            dlq.process_batch(1000)
+        assert dlq.purge_dead_letters() == 1
+        assert dlq.merge_dead_letters() == 0
+
+    def test_retries_eventually_succeed(self):
+        __, cluster = setup_topic(poison=lambda i: False)
+        attempts = {}
+
+        def flaky(message):
+            i = message.entry.record.value["i"]
+            attempts[i] = attempts.get(i, 0) + 1
+            if i == 3 and attempts[i] < 3:
+                raise RuntimeError("transient")
+
+        coordinator = GroupCoordinator(cluster)
+        consumer = Consumer(cluster, coordinator, "g", "t", "m0")
+        dlq = DlqConsumer(cluster, consumer, flaky, FailurePolicy.DLQ, max_retries=3)
+        for __ in range(20):
+            dlq.process_batch(1000)
+        assert dlq.stats.processed == 40
+        assert dlq.stats.dead_lettered == 0
+
+
+class TestConsumerProxy:
+    def test_parallelism_beyond_partition_count(self):
+        """Figure 4's core claim: with slow handlers, 64 proxy workers on
+        an 8-partition topic drain ~8x faster than an 8-consumer group."""
+        clock, cluster = setup_topic(partitions=8, count=400,
+                                     poison=lambda i: False)
+        group_time = polling_group_makespan(cluster, "t", 8, service_time=0.1)
+        endpoint = UniformEndpoint(service_time=0.1)
+        proxy = ConsumerProxy(
+            cluster, GroupCoordinator(cluster), "g", "t", endpoint,
+            num_workers=64, clock=clock,
+        )
+        report = proxy.drain()
+        assert report.delivered == 400
+        assert report.makespan < group_time / 4
+
+    def test_group_capped_at_partitions(self):
+        __, cluster = setup_topic(partitions=4, count=100, poison=lambda i: False)
+        # 4 or 400 consumers: same makespan, the cap at work.
+        t4 = polling_group_makespan(cluster, "t", 4, service_time=0.05)
+        t400 = polling_group_makespan(cluster, "t", 400, service_time=0.05)
+        assert t4 == t400
+
+    def test_proxy_sends_failures_to_dlq(self):
+        clock, cluster = setup_topic(partitions=4, count=50)
+        endpoint = UniformEndpoint(
+            service_time=0.01,
+            fail_when=lambda m: m.entry.record.value.get("poison"),
+        )
+        proxy = ConsumerProxy(
+            cluster, GroupCoordinator(cluster), "g", "t", endpoint,
+            num_workers=8, max_retries=2, clock=clock,
+        )
+        report = proxy.drain()
+        assert report.delivered == 49
+        assert report.dead_lettered == 1
+        assert cluster.end_offset(proxy.dlq_topic, 0) == 1
+
+    def test_drain_advances_simulated_clock(self):
+        clock, cluster = setup_topic(partitions=2, count=20, poison=lambda i: False)
+        before = clock.now()
+        endpoint = UniformEndpoint(service_time=0.5)
+        proxy = ConsumerProxy(
+            cluster, GroupCoordinator(cluster), "g", "t", endpoint,
+            num_workers=4, clock=clock,
+        )
+        report = proxy.drain()
+        assert clock.now() >= before + report.makespan - 1e-9
+        # 20 msgs x 0.5s over 4 workers: makespan = 2.5s
+        assert report.makespan == pytest.approx(2.5)
+
+    def test_worker_count_validation(self):
+        clock, cluster = setup_topic()
+        with pytest.raises(Exception):
+            ConsumerProxy(
+                cluster, GroupCoordinator(cluster), "g", "t",
+                UniformEndpoint(), num_workers=0, clock=clock,
+            )

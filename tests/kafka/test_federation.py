@@ -1,0 +1,139 @@
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import KafkaError, UnknownTopicError
+from repro.kafka.cluster import KafkaCluster, TopicConfig
+from repro.kafka.federation import (
+    IDEAL_MAX_NODES_PER_CLUSTER,
+    PARTITIONS_PER_NODE,
+    FederatedConsumer,
+    FederatedProducer,
+    FederationMetadataServer,
+)
+
+
+def make_federation(clusters=2, brokers=2):
+    clock = SimulatedClock()
+    metadata = FederationMetadataServer()
+    for i in range(clusters):
+        metadata.add_cluster(KafkaCluster(f"cluster-{i}", brokers, clock=clock))
+    return metadata, clock
+
+
+class TestPlacement:
+    def test_topic_lands_on_cluster_with_most_capacity(self):
+        metadata, __ = make_federation()
+        # Fill cluster-0 partially.
+        metadata.cluster("cluster-0").create_topic(
+            "preexisting", TopicConfig(partitions=8)
+        )
+        chosen = metadata.place_topic("new-topic", TopicConfig(partitions=4))
+        assert chosen.name == "cluster-1"
+
+    def test_oversized_cluster_rejected(self):
+        metadata = FederationMetadataServer()
+        big = KafkaCluster("big", IDEAL_MAX_NODES_PER_CLUSTER + 1)
+        with pytest.raises(KafkaError):
+            metadata.add_cluster(big)
+
+    def test_full_federation_needs_new_cluster(self):
+        metadata, __ = make_federation(clusters=1, brokers=1)
+        capacity = PARTITIONS_PER_NODE
+        metadata.place_topic("fill", TopicConfig(partitions=capacity,
+                                                 replication_factor=1))
+        with pytest.raises(KafkaError):
+            metadata.place_topic("overflow", TopicConfig(partitions=1,
+                                                         replication_factor=1))
+        metadata.add_capacity_for(TopicConfig(partitions=1), brokers_per_new_cluster=2)
+        chosen = metadata.place_topic(
+            "overflow", TopicConfig(partitions=1, replication_factor=1)
+        )
+        assert chosen.name == "cluster-1"
+
+    def test_dead_cluster_avoided(self):
+        metadata, __ = make_federation()
+        for broker_id in list(metadata.cluster("cluster-0").brokers):
+            metadata.cluster("cluster-0").kill_broker(broker_id)
+        chosen = metadata.place_topic("t", TopicConfig(partitions=2))
+        assert chosen.name == "cluster-1"
+
+    def test_duplicate_placement_rejected(self):
+        metadata, __ = make_federation()
+        metadata.place_topic("t")
+        with pytest.raises(KafkaError):
+            metadata.place_topic("t")
+
+    def test_locate_unknown(self):
+        metadata, __ = make_federation()
+        with pytest.raises(UnknownTopicError):
+            metadata.locate("ghost")
+
+
+class TestLogicalClients:
+    def test_producer_routes_through_metadata(self):
+        metadata, clock = make_federation()
+        metadata.place_topic("t", TopicConfig(partitions=2))
+        producer = FederatedProducer(metadata, clock=clock)
+        producer.produce("t", {"v": 1}, key="k")
+        cluster, __ = metadata.locate("t")
+        assert sum(
+            cluster.end_offset("t", p) for p in range(2)
+        ) == 1
+
+    def test_consumer_reads_through_metadata(self):
+        metadata, clock = make_federation()
+        metadata.place_topic("t", TopicConfig(partitions=2))
+        producer = FederatedProducer(metadata, clock=clock)
+        for i in range(20):
+            producer.produce("t", {"i": i}, key=f"k{i}")
+        consumer = FederatedConsumer(metadata, {}, "g", "t")
+        seen = []
+        for __ in range(10):
+            seen.extend(consumer.poll(100))
+        assert len(seen) == 20
+
+
+class TestMigration:
+    def test_migration_copies_data(self):
+        metadata, clock = make_federation()
+        metadata.place_topic("t", TopicConfig(partitions=2))
+        producer = FederatedProducer(metadata, clock=clock)
+        for i in range(30):
+            producer.produce("t", {"i": i}, key=f"k{i}")
+        source, __ = metadata.locate("t")
+        destination = "cluster-1" if source.name == "cluster-0" else "cluster-0"
+        metadata.migrate_topic("t", destination)
+        new_cluster, epoch = metadata.locate("t")
+        assert new_cluster.name == destination
+        assert epoch == 1
+        assert not source.has_topic("t")
+        total = sum(new_cluster.end_offset("t", p) for p in range(2))
+        assert total == 30
+
+    def test_live_consumer_redirected_without_restart(self):
+        """Section 4.1.1: consumer keeps polling across a migration and
+        neither loses nor re-reads messages."""
+        metadata, clock = make_federation()
+        metadata.place_topic("t", TopicConfig(partitions=2))
+        producer = FederatedProducer(metadata, clock=clock)
+        for i in range(40):
+            producer.produce("t", {"i": i}, key=f"k{i % 4}")
+        consumer = FederatedConsumer(metadata, {}, "g", "t")
+        first = consumer.poll(10)
+        source, __ = metadata.locate("t")
+        destination = "cluster-1" if source.name == "cluster-0" else "cluster-0"
+        metadata.migrate_topic("t", destination)
+        rest = []
+        for __ in range(20):
+            rest.extend(consumer.poll(100))
+        assert consumer.redirects == 1
+        seen = [(m.partition, m.offset) for m in first + rest]
+        assert len(seen) == 40
+        assert len(set(seen)) == 40
+
+    def test_migration_same_cluster_noop(self):
+        metadata, __ = make_federation()
+        source = metadata.place_topic("t")
+        metadata.migrate_topic("t", source.name)
+        __, epoch = metadata.locate("t")
+        assert epoch == 0

@@ -1,0 +1,111 @@
+import pytest
+
+from repro.common.errors import ReproError, SchemaCompatibilityError, SchemaError
+from repro.metadata.catalog import DataCatalog, DatasetKind, DatasetRef
+from repro.metadata.registry import SchemaRegistry
+from repro.metadata.schema import Field, FieldType, Schema
+
+
+def schema_v(fields) -> Schema:
+    return Schema("orders", tuple(fields))
+
+
+class TestSchemaRegistry:
+    def test_register_assigns_versions(self):
+        registry = SchemaRegistry()
+        s1 = schema_v([Field("a", FieldType.INT)])
+        assert registry.register("orders", s1) == 1
+        s2 = schema_v([Field("a", FieldType.INT), Field("b", FieldType.STRING)])
+        assert registry.register("orders", s2) == 2
+        assert registry.latest("orders").version == 2
+
+    def test_incompatible_rejected(self):
+        registry = SchemaRegistry()
+        registry.register("orders", schema_v([Field("a", FieldType.INT)]))
+        with pytest.raises(SchemaCompatibilityError):
+            registry.register("orders", schema_v([Field("a", FieldType.STRING)]))
+
+    def test_compatibility_none_allows_anything(self):
+        registry = SchemaRegistry()
+        registry.register(
+            "raw", schema_v([Field("a", FieldType.INT)]), compatibility="none"
+        )
+        registry.register("raw", schema_v([Field("a", FieldType.STRING)]))
+        assert registry.versions("raw") == 2
+
+    def test_get_specific_version(self):
+        registry = SchemaRegistry()
+        registry.register("s", schema_v([Field("a", FieldType.INT)]))
+        registry.register(
+            "s", schema_v([Field("a", FieldType.INT), Field("b", FieldType.INT)])
+        )
+        assert not registry.get("s", 1).has_field("b")
+        with pytest.raises(SchemaError):
+            registry.get("s", 3)
+
+    def test_unknown_subject(self):
+        with pytest.raises(SchemaError):
+            SchemaRegistry().latest("nope")
+
+    def test_unknown_compat_mode(self):
+        with pytest.raises(SchemaError):
+            SchemaRegistry().register(
+                "s", schema_v([Field("a", FieldType.INT)]), compatibility="full"
+            )
+
+    def test_subjects_sorted(self):
+        registry = SchemaRegistry()
+        registry.register("b", schema_v([Field("a", FieldType.INT)]))
+        registry.register("a", schema_v([Field("a", FieldType.INT)]))
+        assert registry.subjects() == ["a", "b"]
+
+
+class TestCatalog:
+    def _refs(self):
+        return (
+            DatasetRef(DatasetKind.KAFKA_TOPIC, "orders"),
+            DatasetRef(DatasetKind.FLINK_JOB, "preagg"),
+            DatasetRef(DatasetKind.PINOT_TABLE, "orders_agg"),
+        )
+
+    def test_register_and_get(self):
+        catalog = DataCatalog()
+        topic, __, __ = self._refs()
+        catalog.register(topic, owner="eats", description="order events")
+        assert catalog.get(topic).owner == "eats"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ReproError):
+            DataCatalog().get(DatasetRef(DatasetKind.KAFKA_TOPIC, "x"))
+
+    def test_lineage_edges(self):
+        catalog = DataCatalog()
+        topic, job, table = self._refs()
+        catalog.add_lineage(topic, job)
+        catalog.add_lineage(job, table)
+        assert catalog.downstream(topic) == {job}
+        assert catalog.upstream(table) == {job}
+
+    def test_transitive_downstream(self):
+        catalog = DataCatalog()
+        topic, job, table = self._refs()
+        catalog.add_lineage(topic, job)
+        catalog.add_lineage(job, table)
+        assert catalog.transitive_downstream(topic) == {job, table}
+
+    def test_lineage_auto_registers(self):
+        catalog = DataCatalog()
+        topic, job, __ = self._refs()
+        catalog.add_lineage(topic, job)
+        assert len(catalog) == 2
+
+    def test_search_matches_tags_and_description(self):
+        catalog = DataCatalog()
+        topic, __, __ = self._refs()
+        catalog.register(topic, description="UberEats orders", tags={"eats"})
+        assert catalog.search("ubereats")
+        assert catalog.search("eats")
+        assert not catalog.search("rides")
+
+    def test_ref_str(self):
+        assert str(DatasetRef(DatasetKind.HIVE_TABLE, "t")) == "hive_table:t"

@@ -1,0 +1,150 @@
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.metadata.schema import (
+    Field,
+    FieldRole,
+    FieldType,
+    Schema,
+    infer_schema,
+    is_backward_compatible,
+)
+
+
+def make_schema(*fields: Field) -> Schema:
+    return Schema("t", tuple(fields))
+
+
+class TestFieldType:
+    def test_long_accepts_int_not_bool(self):
+        assert FieldType.LONG.accepts(5)
+        assert not FieldType.LONG.accepts(True)
+
+    def test_double_accepts_int_and_float(self):
+        assert FieldType.DOUBLE.accepts(5)
+        assert FieldType.DOUBLE.accepts(5.5)
+
+    def test_none_always_accepted(self):
+        assert FieldType.STRING.accepts(None)
+
+    def test_string_rejects_number(self):
+        assert not FieldType.STRING.accepts(5)
+
+    def test_json_accepts_structures(self):
+        assert FieldType.JSON.accepts({"a": [1]})
+
+
+class TestSchema:
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(Field("a", FieldType.INT), Field("a", FieldType.STRING))
+
+    def test_field_lookup(self):
+        schema = make_schema(Field("a", FieldType.INT))
+        assert schema.field("a").type is FieldType.INT
+        with pytest.raises(SchemaError):
+            schema.field("missing")
+
+    def test_time_field(self):
+        schema = make_schema(
+            Field("a", FieldType.INT),
+            Field("ts", FieldType.DOUBLE, FieldRole.TIME),
+        )
+        assert schema.time_field().name == "ts"
+
+    def test_validate_rejects_wrong_type(self):
+        schema = make_schema(Field("a", FieldType.INT))
+        with pytest.raises(SchemaError):
+            schema.validate({"a": "not-an-int"})
+
+    def test_validate_missing_required(self):
+        schema = make_schema(Field("a", FieldType.INT, nullable=False))
+        with pytest.raises(SchemaError):
+            schema.validate({})
+
+    def test_validate_missing_nullable_ok(self):
+        schema = make_schema(Field("a", FieldType.INT, nullable=True))
+        schema.validate({})
+
+    def test_conform_fills_defaults_and_drops_extras(self):
+        schema = make_schema(Field("a", FieldType.INT, default=7))
+        row = schema.conform({"b": "extra"})
+        assert row == {"a": 7}
+
+    def test_evolve_bumps_version(self):
+        schema = make_schema(Field("a", FieldType.INT))
+        evolved = schema.evolve(schema.fields + (Field("b", FieldType.STRING),))
+        assert evolved.version == 2
+        assert evolved.has_field("b")
+
+
+class TestBackwardCompatibility:
+    def test_adding_nullable_field_ok(self):
+        old = make_schema(Field("a", FieldType.INT))
+        new = make_schema(Field("a", FieldType.INT), Field("b", FieldType.STRING))
+        assert is_backward_compatible(old, new) == []
+
+    def test_adding_required_field_breaks(self):
+        old = make_schema(Field("a", FieldType.INT))
+        new = make_schema(
+            Field("a", FieldType.INT),
+            Field("b", FieldType.STRING, nullable=False),
+        )
+        assert is_backward_compatible(old, new)
+
+    def test_adding_required_with_default_ok(self):
+        old = make_schema(Field("a", FieldType.INT))
+        new = make_schema(
+            Field("a", FieldType.INT),
+            Field("b", FieldType.STRING, nullable=False, default="x"),
+        )
+        assert is_backward_compatible(old, new) == []
+
+    def test_type_change_breaks(self):
+        old = make_schema(Field("a", FieldType.INT))
+        new = make_schema(Field("a", FieldType.STRING))
+        problems = is_backward_compatible(old, new)
+        assert any("changed type" in p for p in problems)
+
+    def test_removing_required_field_breaks(self):
+        old = make_schema(Field("a", FieldType.INT, nullable=False))
+        new = make_schema(Field("b", FieldType.INT))
+        problems = is_backward_compatible(old, new)
+        assert any("removed" in p for p in problems)
+
+    def test_removing_nullable_field_ok(self):
+        old = make_schema(Field("a", FieldType.INT, nullable=True))
+        new = make_schema(Field("b", FieldType.INT))
+        # removing 'a' is fine; adding nullable 'b' is fine
+        assert is_backward_compatible(old, new) == []
+
+
+class TestInference:
+    def test_infers_types_and_roles(self):
+        rows = [
+            {"city": "sf", "amount": 3.5, "event_time": 100.0},
+            {"city": "nyc", "amount": 5, "event_time": 101.0},
+        ]
+        schema = infer_schema("t", rows)
+        assert schema.field("city").type is FieldType.STRING
+        assert schema.field("city").role is FieldRole.DIMENSION
+        assert schema.field("amount").role is FieldRole.METRIC
+        assert schema.field("event_time").role is FieldRole.TIME
+
+    def test_numeric_widening(self):
+        rows = [{"x": 1}, {"x": 2.5}]
+        assert infer_schema("t", rows).field("x").type is FieldType.DOUBLE
+
+    def test_mixed_types_become_json(self):
+        rows = [{"x": 1}, {"x": "str"}]
+        assert infer_schema("t", rows).field("x").type is FieldType.JSON
+
+    def test_zero_rows_rejected(self):
+        with pytest.raises(SchemaError):
+            infer_schema("t", [])
+
+    def test_only_one_time_column(self):
+        rows = [{"ts": 1.0, "event_time": 2.0, "v": "x"}]
+        schema = infer_schema("t", rows)
+        time_fields = [f for f in schema.fields if f.role is FieldRole.TIME]
+        assert len(time_fields) == 1

@@ -1,0 +1,151 @@
+import pytest
+
+from repro.common.errors import SqlParseError
+from repro.sql.parser import (
+    BoolOp,
+    Column,
+    Comparison,
+    FuncCall,
+    HopSpec,
+    Literal,
+    Star,
+    SubqueryRef,
+    TableRef,
+    TumbleSpec,
+    parse,
+)
+
+
+class TestBasicSelect:
+    def test_simple_select(self):
+        select = parse("SELECT a, b FROM t")
+        assert [i.expr for i in select.items] == [Column("a"), Column("b")]
+        assert select.source == TableRef("t")
+
+    def test_star(self):
+        select = parse("SELECT * FROM t")
+        assert isinstance(select.items[0].expr, Star)
+
+    def test_aliases(self):
+        select = parse("SELECT a AS x, b y FROM t AS src")
+        assert select.items[0].alias == "x"
+        assert select.items[1].alias == "y"
+        assert select.source.alias == "src"
+
+    def test_case_insensitive_keywords(self):
+        select = parse("select a from t where a = 1")
+        assert select.where is not None
+
+    def test_literals(self):
+        select = parse("SELECT a FROM t WHERE s = 'it''s' AND n = 1.5 AND b = TRUE")
+        comparisons = select.where.operands
+        assert comparisons[0].right == Literal("it's")
+        assert comparisons[1].right == Literal(1.5)
+        assert comparisons[2].right == Literal(True)
+
+    def test_qualified_columns(self):
+        select = parse("SELECT t.a FROM t")
+        assert select.items[0].expr == Column("a", "t")
+
+
+class TestConditions:
+    def test_and_or_precedence(self):
+        select = parse("SELECT a FROM t WHERE a = 1 AND b = 2 OR c = 3")
+        assert isinstance(select.where, BoolOp)
+        assert select.where.op == "OR"
+        assert select.where.operands[0].op == "AND"
+
+    def test_parenthesized(self):
+        select = parse("SELECT a FROM t WHERE a = 1 AND (b = 2 OR c = 3)")
+        assert select.where.op == "AND"
+        assert select.where.operands[1].op == "OR"
+
+    def test_in_list(self):
+        select = parse("SELECT a FROM t WHERE city IN ('sf', 'nyc')")
+        assert select.where == Comparison("IN", Column("city"),
+                                          values=("sf", "nyc"))
+
+    def test_between(self):
+        select = parse("SELECT a FROM t WHERE x BETWEEN 1 AND 10")
+        assert select.where.op == "BETWEEN"
+        assert (select.where.low, select.where.high) == (1, 10)
+
+    def test_neq_variants(self):
+        assert parse("SELECT a FROM t WHERE a != 1").where.op == "!="
+        assert parse("SELECT a FROM t WHERE a <> 1").where.op == "!="
+
+
+class TestAggregationsAndWindows:
+    def test_count_star(self):
+        select = parse("SELECT COUNT(*) FROM t")
+        func = select.items[0].expr
+        assert func == FuncCall("COUNT", (Star(),))
+
+    def test_count_distinct(self):
+        select = parse("SELECT COUNT(DISTINCT user_id) AS users FROM t")
+        assert select.items[0].expr.distinct
+
+    def test_group_by_with_tumble(self):
+        select = parse(
+            "SELECT city, SUM(x) FROM t GROUP BY TUMBLE(ts, 60), city"
+        )
+        assert select.window() == TumbleSpec("ts", 60.0)
+        assert select.group_columns() == [Column("city")]
+        assert len(select.aggregations()) == 1
+
+    def test_hop_window(self):
+        select = parse("SELECT COUNT(*) FROM t GROUP BY HOP(ts, 10, 60)")
+        assert select.window() == HopSpec("ts", 10.0, 60.0)
+
+    def test_having(self):
+        select = parse(
+            "SELECT city, COUNT(*) AS n FROM t GROUP BY city HAVING n > 5"
+        )
+        assert select.having.op == ">"
+
+    def test_order_by_and_limit(self):
+        select = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 7")
+        assert select.order_by[0] == (Column("a"), True)
+        assert select.order_by[1] == (Column("b"), False)
+        assert select.limit == 7
+
+
+class TestJoinsAndSubqueries:
+    def test_join_on(self):
+        select = parse(
+            "SELECT a.x, b.y FROM ta a JOIN tb b ON a.id = b.id"
+        )
+        assert len(select.joins) == 1
+        clause = select.joins[0]
+        assert clause.left_key == Column("id", "a")
+        assert clause.right_key == Column("id", "b")
+
+    def test_inner_join(self):
+        select = parse("SELECT a.x FROM ta a INNER JOIN tb b ON a.id = b.id")
+        assert len(select.joins) == 1
+
+    def test_subquery_in_from(self):
+        select = parse("SELECT x FROM (SELECT a AS x FROM t) AS sub")
+        assert isinstance(select.source, SubqueryRef)
+        assert select.source.alias == "sub"
+        assert select.source.select.items[0].alias == "x"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT",
+            "SELECT a",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP",
+            "SELECT a FROM t WHERE a ==",
+            "SELECT a FROM t LIMIT x",
+            "SELECT a FROM t trailing garbage (",
+            "SELECT a FROM t WHERE a IN (b)",  # non-literal in IN
+        ],
+    )
+    def test_malformed(self, sql):
+        with pytest.raises(SqlParseError):
+            parse(sql)

@@ -1,0 +1,145 @@
+import pytest
+
+from repro.common.errors import (
+    BlobNotFoundError,
+    StorageError,
+    StorageUnavailableError,
+)
+from repro.storage.blobstore import BlobStore
+from repro.storage.hdfs import HdfsCluster
+
+
+class TestBlobStore:
+    def test_read_after_write(self):
+        store = BlobStore()
+        store.put("a/b", b"data")
+        assert store.get("a/b") == b"data"
+
+    def test_overwrite(self):
+        store = BlobStore()
+        store.put("k", b"v1")
+        store.put("k", b"v2")
+        assert store.get("k") == b"v2"
+
+    def test_missing_key(self):
+        with pytest.raises(BlobNotFoundError):
+            BlobStore().get("nope")
+
+    def test_delete(self):
+        store = BlobStore()
+        store.put("k", b"v")
+        store.delete("k")
+        assert not store.exists("k")
+        with pytest.raises(BlobNotFoundError):
+            store.delete("k")
+
+    def test_list_prefix_sorted(self):
+        store = BlobStore()
+        for key in ("b/2", "a/1", "b/1"):
+            store.put(key, b"x")
+        assert store.list("b/") == ["b/1", "b/2"]
+
+    def test_outage_blocks_all_ops(self):
+        store = BlobStore()
+        store.put("k", b"v")
+        store.set_available(False)
+        with pytest.raises(StorageUnavailableError):
+            store.get("k")
+        with pytest.raises(StorageUnavailableError):
+            store.put("k2", b"v")
+        store.set_available(True)
+        assert store.get("k") == b"v"
+
+    def test_requires_bytes(self):
+        with pytest.raises(TypeError):
+            BlobStore().put("k", "not-bytes")
+
+    def test_total_bytes_by_prefix(self):
+        store = BlobStore()
+        store.put("a/x", b"12345")
+        store.put("b/y", b"123")
+        assert store.total_bytes("a/") == 5
+        assert store.total_bytes() == 8
+
+    def test_stat(self):
+        store = BlobStore()
+        store.put("k", b"abc")
+        stat = store.stat("k")
+        assert stat.size == 3
+
+
+class TestHdfs:
+    def test_write_read_round_trip(self):
+        hdfs = HdfsCluster(datanodes=4, replication=3, block_size=10)
+        data = b"x" * 35  # spans 4 blocks
+        hdfs.write_file("/data/f", data)
+        assert hdfs.read_file("/data/f") == data
+        assert hdfs.file_size("/data/f") == 35
+
+    def test_write_once(self):
+        hdfs = HdfsCluster()
+        hdfs.write_file("/f", b"a")
+        with pytest.raises(StorageError):
+            hdfs.write_file("/f", b"b")
+
+    def test_replication_survives_single_failure(self):
+        hdfs = HdfsCluster(datanodes=4, replication=3, block_size=8)
+        hdfs.write_file("/f", b"y" * 30)
+        hdfs.kill_datanode("dn0")
+        assert hdfs.read_file("/f") == b"y" * 30
+
+    def test_losing_all_replicas_fails_reads(self):
+        hdfs = HdfsCluster(datanodes=3, replication=3, block_size=1024)
+        hdfs.write_file("/f", b"z")
+        for name in ("dn0", "dn1", "dn2"):
+            hdfs.kill_datanode(name)
+        with pytest.raises(StorageUnavailableError):
+            hdfs.read_file("/f")
+
+    def test_namenode_outage(self):
+        hdfs = HdfsCluster()
+        hdfs.write_file("/f", b"a")
+        hdfs.set_namenode_up(False)
+        with pytest.raises(StorageUnavailableError):
+            hdfs.read_file("/f")
+
+    def test_writes_fail_without_enough_replicas(self):
+        hdfs = HdfsCluster(datanodes=3, replication=3)
+        hdfs.kill_datanode("dn0")
+        with pytest.raises(StorageUnavailableError):
+            hdfs.write_file("/f", b"a")
+
+    def test_re_replication_restores_target(self):
+        hdfs = HdfsCluster(datanodes=4, replication=3, block_size=16)
+        hdfs.write_file("/f", b"q" * 64)
+        hdfs.kill_datanode("dn1")
+        assert hdfs.under_replicated_blocks()
+        created = hdfs.re_replicate()
+        assert created > 0
+        assert hdfs.under_replicated_blocks() == []
+        # Now even losing another node keeps data readable.
+        hdfs.kill_datanode("dn2")
+        assert hdfs.read_file("/f") == b"q" * 64
+
+    def test_delete(self):
+        hdfs = HdfsCluster()
+        hdfs.write_file("/f", b"a")
+        hdfs.delete_file("/f")
+        assert not hdfs.exists("/f")
+        with pytest.raises(BlobNotFoundError):
+            hdfs.read_file("/f")
+
+    def test_total_stored_counts_replicas(self):
+        hdfs = HdfsCluster(datanodes=4, replication=2, block_size=1024)
+        hdfs.write_file("/f", b"a" * 100)
+        assert hdfs.total_stored_bytes() == 200
+
+    def test_invalid_config(self):
+        with pytest.raises(StorageError):
+            HdfsCluster(datanodes=1, replication=3)
+
+    def test_list_files(self):
+        hdfs = HdfsCluster()
+        hdfs.write_file("/logs/a", b"1")
+        hdfs.write_file("/data/b", b"2")
+        assert hdfs.list_files("/logs") == ["/logs/a"]
