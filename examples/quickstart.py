@@ -1,44 +1,44 @@
-"""Quickstart: the Figure 3 data path, end to end.
+"""Quickstart: the Figure 3 data path, end to end, on the Platform facade.
 
 Produce events into Kafka, run a FlinkSQL streaming aggregation whose
 results land back in Kafka, ingest both topics into Pinot, and query the
 fresh data with PrestoSQL through the Pinot connector — the full
 stream -> compute -> OLAP -> SQL stack of the paper, in one script.
+The :class:`~repro.platform.Platform` facade owns the shared clock, RNG,
+metrics and tracer, so every component below is already wired for
+end-to-end observability.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import random
-
-from repro.common import SimulatedClock
-from repro.flink.runtime import JobRuntime
-from repro.kafka import KafkaCluster, Producer, TopicConfig
-from repro.metadata import Field, FieldRole, FieldType, Schema
-from repro.pinot import (
+from repro import (
+    Field,
+    FieldRole,
+    FieldType,
     IndexConfig,
-    PeerToPeerBackup,
-    PinotBroker,
-    PinotController,
-    PinotServer,
+    Platform,
+    Schema,
+    SloTarget,
     TableConfig,
 )
-from repro.sql import FlinkSqlCompiler, StreamTableDef
-from repro.sql.presto import PinotConnector, PrestoEngine
-from repro.storage import BlobStore
 
 
 def main() -> None:
-    clock = SimulatedClock()
-    rng = random.Random(2021)
+    # 1. The platform: one shared clock/RNG/metrics/tracer behind every layer.
+    platform = (
+        Platform(seed=2021, name="quickstart")
+        .with_kafka(num_brokers=3)
+        .with_pinot(servers=3, backup="p2p")
+        .with_presto(pushdown="full")
+        .topic("rides", partitions=4)
+        .topic("city_stats", partitions=2)
+        .stream_table("rides", timestamp_column="event_time")
+    )
+    clock, rng = platform.clock, platform.rng
 
-    # 1. Streaming storage: a Kafka cluster with a rides topic.
-    kafka = KafkaCluster("quickstart", num_brokers=3, clock=clock)
-    kafka.create_topic("rides", TopicConfig(partitions=4))
-    kafka.create_topic("city_stats", TopicConfig(partitions=2))
-
-    producer = Producer(kafka, service_name="rides-service", clock=clock)
+    producer = platform.producer("rides-service")
     cities = ["sf", "nyc", "chicago", "seattle"]
     for __ in range(4000):
         clock.advance(0.25)
@@ -56,16 +56,12 @@ def main() -> None:
     print(f"produced 4000 ride events over {clock.now():.0f}s of stream time")
 
     # 2. Compute: a FlinkSQL job aggregating fares per city per minute.
-    compiler = FlinkSqlCompiler(
-        {"rides": StreamTableDef(kafka, "rides", timestamp_column="event_time")}
-    )
-    graph = compiler.compile_streaming(
+    runtime = platform.streaming_sql(
         "SELECT city, COUNT(*) AS rides, SUM(fare) AS revenue "
         "FROM rides GROUP BY TUMBLE(event_time, 60), city",
-        sink_kafka=(kafka, "city_stats"),
+        sink_topic="city_stats",
         job_name="city-stats",
     )
-    runtime = JobRuntime(graph, blob_store=BlobStore("checkpoints"))
     runtime.run_until_quiescent()
     checkpoint = runtime.trigger_checkpoint()
     print(f"flink job ran to quiescence; checkpoint {checkpoint} taken")
@@ -81,9 +77,7 @@ def main() -> None:
             Field("revenue", FieldType.DOUBLE, FieldRole.METRIC),
         ),
     )
-    servers = [PinotServer(f"server-{i}") for i in range(3)]
-    controller = PinotController(servers, PeerToPeerBackup(BlobStore("segments")))
-    state = controller.create_realtime_table(
+    state = platform.realtime_table(
         TableConfig(
             "city_stats",
             schema,
@@ -91,17 +85,13 @@ def main() -> None:
             index_config=IndexConfig(inverted=frozenset({"city"})),
             segment_rows_threshold=50,
         ),
-        kafka,
-        "city_stats",
+        topic="city_stats",
     )
     state.ingestion.run_until_caught_up()
     print(f"pinot ingested {state.ingestion.total_rows_ingested()} cube rows")
 
     # 4. SQL: interactive PrestoSQL over the fresh Pinot table.
-    presto = PrestoEngine(
-        {"city_stats": PinotConnector(PinotBroker(controller), pushdown="full")}
-    )
-    output = presto.execute(
+    output = platform.sql(
         "SELECT city, SUM(rides) AS total_rides, SUM(revenue) AS total_revenue "
         "FROM city_stats GROUP BY city ORDER BY total_revenue DESC LIMIT 5"
     )
@@ -116,6 +106,38 @@ def main() -> None:
         f"aggregation={output.stats.pushed_aggregation}, "
         f"{output.stats.rows_transferred} rows crossed the connector"
     )
+
+    # 5. Observability: follow one record across the stack, then measure
+    # end-to-end freshness with sentinel probes (paper Section 8).
+    tracer = platform.tracer
+    assert tracer is not None
+    deepest = max(
+        tracer.trace_ids(),
+        key=lambda tid: len({s.name for s in tracer.trace(tid)}),
+    )
+    print(f"\none traced record ({deepest}) through the stack:")
+    for span in tracer.trace(deepest):
+        print(
+            f"  {span.layer:>6} {span.name:<9} "
+            f"[{span.start:9.2f}s -> {span.end:9.2f}s]"
+        )
+    assert not tracer.anomalies(), tracer.anomalies()
+
+    probe = platform.freshness_probe("city_stats")
+    report = probe.run(sentinels=5, timeout=300)
+    print(f"\nend-to-end {report.render()}")
+
+    platform.slo(
+        SloTarget(
+            "quickstart",
+            "freshness",
+            99,
+            120.0,
+            "ride stats queryable within two minutes",
+        )
+    )
+    platform.slo_monitor.ingest_report("quickstart", report)
+    print("\n" + platform.dashboard())
 
 
 if __name__ == "__main__":

@@ -16,6 +16,88 @@ The package mirrors the paper's Figure 2/Figure 3 architecture:
 * ``repro.backfill`` — Kappa+, Kafka replay, Lambda baseline
 * ``repro.usecases`` — Section 5's four representative applications
 * ``repro.workloads``— seeded synthetic workload generators
+* ``repro.observability`` — cross-layer tracing, freshness probes, SLOs
+* ``repro.platform`` — the ``Platform`` facade wiring all of the above
+
+The names below are the blessed entry points; deeper imports remain
+available for specialised use.
 """
 
-__version__ = "1.0.0"
+from repro.common.clock import SimulatedClock, SystemClock
+from repro.common.metrics import MetricsRegistry
+from repro.common.records import Record
+from repro.flink.graph import StreamEnvironment
+from repro.flink.runtime import JobRuntime
+from repro.kafka.cluster import KafkaCluster, TopicConfig
+from repro.kafka.consumer import Consumer, GroupCoordinator
+from repro.kafka.producer import Producer
+from repro.metadata.schema import Field, FieldRole, FieldType, Schema
+from repro.observability.freshness import (
+    FreshnessProbe,
+    FreshnessReport,
+    PinotFreshnessProbe,
+)
+from repro.observability.slo import SloMonitor, SloTarget
+from repro.observability.trace import Span, SpanCollector, TraceContext
+from repro.pinot.broker import PinotBroker
+from repro.pinot.controller import PinotController
+from repro.pinot.recovery import CentralizedBackup, PeerToPeerBackup
+from repro.pinot.segment import IndexConfig
+from repro.pinot.server import PinotServer
+from repro.pinot.table import TableConfig
+from repro.platform import Platform
+from repro.sql.flinksql import FlinkSqlCompiler, StreamTableDef
+from repro.sql.presto.connector import HiveConnector, MemoryConnector, PinotConnector
+from repro.sql.presto.engine import PrestoEngine
+from repro.storage.blobstore import BlobStore
+
+__version__ = "1.1.0"
+
+__all__ = [
+    # facade
+    "Platform",
+    # shared plumbing
+    "SimulatedClock",
+    "SystemClock",
+    "MetricsRegistry",
+    "Record",
+    "BlobStore",
+    # streaming storage
+    "KafkaCluster",
+    "TopicConfig",
+    "Producer",
+    "Consumer",
+    "GroupCoordinator",
+    # stream processing
+    "StreamEnvironment",
+    "JobRuntime",
+    "FlinkSqlCompiler",
+    "StreamTableDef",
+    # OLAP
+    "PinotController",
+    "PinotBroker",
+    "PinotServer",
+    "TableConfig",
+    "IndexConfig",
+    "PeerToPeerBackup",
+    "CentralizedBackup",
+    # federated SQL
+    "PrestoEngine",
+    "PinotConnector",
+    "HiveConnector",
+    "MemoryConnector",
+    # metadata
+    "Schema",
+    "Field",
+    "FieldType",
+    "FieldRole",
+    # observability
+    "SpanCollector",
+    "TraceContext",
+    "Span",
+    "FreshnessProbe",
+    "PinotFreshnessProbe",
+    "FreshnessReport",
+    "SloMonitor",
+    "SloTarget",
+]

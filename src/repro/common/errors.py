@@ -146,3 +146,9 @@ class NoHealthyRegionError(RegionError):
 
 class BackfillError(ReproError):
     """Backfill job misconfiguration or runtime failure."""
+
+
+# --- platform facade -----------------------------------------------------
+
+class PlatformError(ReproError):
+    """Platform facade misused (component not configured yet)."""

@@ -32,6 +32,7 @@ from repro.flink.windows import (
     WindowAssigner,
     WindowResult,
 )
+from repro.observability.trace import SpanCollector, TraceContext
 
 
 class Operator:
@@ -100,7 +101,7 @@ class ProcessOperator(Operator):
         out: list[StreamRecord] = []
 
         def emit(value: Any, key: Any = None) -> None:
-            out.append(StreamRecord(value, record.timestamp, key))
+            out.append(StreamRecord(value, record.timestamp, key, record.trace))
 
         try:
             self.fn(record, self.state, emit)
@@ -135,12 +136,16 @@ class WindowOperator(Operator):
         self.allowed_lateness = allowed_lateness
         self.current_watermark = float("-inf")
         self.late_dropped = 0
+        # Representative trace per open window: the latest contributing
+        # traced record.  Deliberately outside the checkpointed state —
+        # traces are observability metadata, not replayable data.
+        self._traces: dict[Any, Any] = {}
 
     def process(self, record: StreamRecord, input_index: int = 0) -> list[Any]:
         key = record.key
         windows = self.assigner.assign(record.timestamp)
         if self.assigner.is_session():
-            self._add_to_session(key, windows[0], record.value)
+            self._add_to_session(key, windows[0], record.value, record.trace)
             return []
         live = [
             w
@@ -156,9 +161,13 @@ class WindowOperator(Operator):
             if acc is None:
                 acc = self.aggregator.create_accumulator()
             self.state.put("acc", state_key, self.aggregator.add(record.value, acc))
+            if record.trace is not None:
+                self._traces[state_key] = record.trace
         return []
 
-    def _add_to_session(self, key: Any, window: TimeWindow, value: Any) -> None:
+    def _add_to_session(
+        self, key: Any, window: TimeWindow, value: Any, trace: Any = None
+    ) -> None:
         """Insert into session state, merging overlapping sessions."""
         acc = self.aggregator.add(value, self.aggregator.create_accumulator())
         start, end = window.start, window.end
@@ -173,9 +182,12 @@ class WindowOperator(Operator):
                     acc = self.aggregator.merge(acc, existing)
                     start, end = min(start, s), max(end, e)
                     self.state.remove("acc", state_key)
+                    trace = trace or self._traces.pop(state_key, None)
                     merged = True
                     break
         self.state.put("acc", (key, start, end), acc)
+        if trace is not None:
+            self._traces[(key, start, end)] = trace
 
     def on_watermark(self, watermark: Watermark) -> list[Any]:
         self.current_watermark = max(self.current_watermark, watermark.timestamp)
@@ -189,7 +201,9 @@ class WindowOperator(Operator):
                     value=self.aggregator.get_result(acc),
                 )
                 # Results are timestamped at window end, Flink-style.
-                fired.append(StreamRecord(result, end, key))
+                fired.append(
+                    StreamRecord(result, end, key, self._traces.pop(state_key, None))
+                )
                 self.state.remove("acc", state_key)
         return fired
 
@@ -230,6 +244,7 @@ class WindowJoinOperator(Operator):
         self.join_fn = join_fn
         self.current_watermark = float("-inf")
         self.late_dropped = 0
+        self._traces: dict[Any, Any] = {}
 
     def process(self, record: StreamRecord, input_index: int = 0) -> list[Any]:
         side = "left" if input_index == 0 else "right"
@@ -240,6 +255,8 @@ class WindowJoinOperator(Operator):
                 continue
             state_key = (record.key, window.start, window.end)
             self.state.append(side, state_key, record.value)
+            if record.trace is not None:
+                self._traces[state_key] = record.trace
         return out
 
     def on_watermark(self, watermark: Watermark) -> list[Any]:
@@ -256,12 +273,13 @@ class WindowJoinOperator(Operator):
                 closed.add(state_key)
         for state_key in sorted(closed, key=lambda k: (k[2], str(k[0]))):
             key, start, end = state_key
+            trace = self._traces.pop(state_key, None)
             lefts = self.state.get_list("left", state_key)
             rights = self.state.get_list("right", state_key)
             for left in lefts:
                 for right in rights:
                     fired.append(
-                        StreamRecord(self.join_fn(left, right), end, key)
+                        StreamRecord(self.join_fn(left, right), end, key, trace)
                     )
             self.state.remove("left", state_key)
             self.state.remove("right", state_key)
@@ -340,7 +358,14 @@ class KafkaSourceReader:
                     else record.event_time
                 )
                 self.watermarks.on_event(timestamp)
-                out.append(StreamRecord(record.value, timestamp, record.key))
+                out.append(
+                    StreamRecord(
+                        record.value,
+                        timestamp,
+                        record.key,
+                        TraceContext.from_record(record),
+                    )
+                )
                 self.positions[partition] = entry.offset + 1
         if not out:
             self._empty_polls += 1
@@ -455,6 +480,10 @@ class KafkaSink:
         self.key_fn = key_fn
         self._producer = Producer(cluster, service_name=f"flink-sink-{topic}")
 
+    def set_tracer(self, tracer: SpanCollector | None) -> None:
+        """Let the runtime hand its tracer to the sink's internal producer."""
+        self._producer.tracer = tracer
+
     def write(self, record: StreamRecord) -> None:
         key = self.key_fn(record.value) if self.key_fn is not None else record.key
         value = record.value
@@ -465,8 +494,11 @@ class KafkaSink:
                 "window_end": value.window.end,
                 "value": value.value,
             }
+        # Re-stamp the upstream trace so the derived record continues the
+        # same end-to-end trace across its second Kafka hop.
+        headers = record.trace.to_headers() if record.trace is not None else None
         self._producer.produce(
-            self.topic, value, key=key, event_time=record.timestamp
+            self.topic, value, key=key, event_time=record.timestamp, headers=headers
         )
 
 

@@ -24,12 +24,14 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.common import serde
+from repro.common.clock import Clock, SystemClock
 from repro.common.errors import CheckpointError, FlinkError
 from repro.common.metrics import MetricsRegistry
 from repro.kafka.producer import hash_partitioner
 from repro.flink.graph import Edge, JobGraph, OperatorSpec, validate_graph
 from repro.flink.operators import build_operator
 from repro.flink.time import CheckpointBarrier, StreamRecord, StreamStatus, Watermark
+from repro.observability.trace import SpanCollector
 
 DEFAULT_CHANNEL_CAPACITY = 1000
 
@@ -141,6 +143,22 @@ class SubTask:
             return 0
         elements = self.reader.poll(max_records)
         data = [e for e in elements if isinstance(e, StreamRecord)]
+        tracer = self.runtime.tracer
+        if tracer is not None:
+            # The process span opens when the record enters the job and is
+            # closed by whichever sink its (possibly aggregated) descendant
+            # reaches.  Records aggregated away never close theirs; the
+            # collector evicts those.
+            now = self.runtime.clock.now()
+            for element in data:
+                if element.trace is not None:
+                    tracer.begin_span(
+                        element.trace.trace_id,
+                        "process",
+                        "flink",
+                        start=now,
+                        job=self.runtime.graph.name,
+                    )
         self.emit(elements)
         self.records_processed += len(data)
         return len(data)
@@ -174,6 +192,14 @@ class SubTask:
             self.records_processed += 1
             if self.spec.kind == "sink":
                 self.spec.sink.write(element)
+                tracer = self.runtime.tracer
+                if tracer is not None and element.trace is not None:
+                    tracer.end_span(
+                        element.trace.trace_id,
+                        "process",
+                        end=self.runtime.clock.now(),
+                        sink=self.spec.op_id,
+                    )
             else:
                 assert self.operator is not None
                 self.emit(self.operator.process(element, channel.input_index))
@@ -256,12 +282,23 @@ class JobRuntime:
         graph: JobGraph,
         blob_store=None,
         channel_capacity: int = DEFAULT_CHANNEL_CAPACITY,
+        clock: Clock | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: SpanCollector | None = None,
     ) -> None:
         validate_graph(graph)
         self.graph = graph
         self.blob_store = blob_store
         self.channel_capacity = channel_capacity
-        self.metrics = MetricsRegistry(f"flink.{graph.name}")
+        self.clock = clock or self._infer_clock(graph)
+        self.tracer = tracer
+        self.metrics = metrics or MetricsRegistry(f"flink.{graph.name}")
+        if tracer is not None:
+            # Kafka sinks re-produce results; hand them the tracer so the
+            # derived record's second produce hop is spanned too.
+            for spec in graph.sinks():
+                if hasattr(spec.sink, "set_tracer"):
+                    spec.sink.set_tracer(tracer)
         self.tasks: dict[str, list[SubTask]] = {}
         for spec in graph.operators.values():
             self.tasks[spec.op_id] = [
@@ -277,6 +314,16 @@ class JobRuntime:
         self._next_checkpoint_id = 1
         self._pending_sink_acks: dict[int, set[tuple[str, int]]] = {}
         self._completed_checkpoints: list[int] = []
+
+    @staticmethod
+    def _infer_clock(graph: JobGraph) -> Clock:
+        """Default to the Kafka sources' cluster clock so span timestamps
+        share one timeline with the produce/ingest hops."""
+        for spec in graph.sources():
+            cluster = getattr(spec.source, "cluster", None)
+            if cluster is not None and getattr(cluster, "clock", None) is not None:
+                return cluster.clock
+        return SystemClock()
 
     # -- scheduling --------------------------------------------------------------
 

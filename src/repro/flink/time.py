@@ -13,17 +13,25 @@ from typing import Any
 
 @dataclass(frozen=True, slots=True)
 class StreamRecord:
-    """A data element with an assigned event timestamp and optional key."""
+    """A data element with an assigned event timestamp and optional key.
+
+    ``trace`` carries the upstream
+    :class:`~repro.observability.trace.TraceContext` of the Kafka record
+    the element originated from (``None`` for untraced pipelines); operator
+    transforms preserve it so the element can be followed back out of the
+    job at the sink.
+    """
 
     value: Any
     timestamp: float
     key: Any = None
+    trace: Any = None
 
     def with_value(self, value: Any) -> "StreamRecord":
-        return StreamRecord(value, self.timestamp, self.key)
+        return StreamRecord(value, self.timestamp, self.key, self.trace)
 
     def with_key(self, key: Any) -> "StreamRecord":
-        return StreamRecord(self.value, self.timestamp, key)
+        return StreamRecord(self.value, self.timestamp, key, self.trace)
 
 
 @dataclass(frozen=True, slots=True)

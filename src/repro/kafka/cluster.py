@@ -30,6 +30,7 @@ from repro.common.errors import (
 from repro.common.metrics import MetricsRegistry
 from repro.common.records import Record
 from repro.kafka.log import LogEntry, PartitionLog
+from repro.observability.trace import SpanCollector, TraceContext
 
 
 @dataclass
@@ -86,15 +87,18 @@ class KafkaCluster:
         name: str = "kafka",
         num_brokers: int = 3,
         clock: Clock | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: SpanCollector | None = None,
     ) -> None:
         if num_brokers < 1:
             raise KafkaError(f"cluster needs at least one broker, got {num_brokers}")
         self.name = name
         self.clock = clock or SystemClock()
+        self.tracer = tracer
         self.brokers: dict[int, Broker] = {i: Broker(i) for i in range(num_brokers)}
         self.topics: dict[str, Topic] = {}
         self._assign_cursor = itertools.count()
-        self.metrics = MetricsRegistry(f"kafka.{name}")
+        self.metrics = metrics or MetricsRegistry(f"kafka.{name}")
 
     # -- cluster membership ---------------------------------------------------
 
@@ -313,6 +317,19 @@ class KafkaCluster:
                     for entry in leader_log.iter_from(follower.end_offset):
                         follower.append(entry.record, entry.append_time)
                         copied += 1
+                        if self.tracer is not None:
+                            ctx = TraceContext.from_record(entry.record)
+                            if ctx is not None:
+                                self.tracer.record_span(
+                                    ctx.trace_id,
+                                    "replicate",
+                                    "kafka",
+                                    start=entry.append_time,
+                                    end=self.clock.now(),
+                                    topic=pstate.topic,
+                                    partition=pstate.partition,
+                                    follower=broker_id,
+                                )
         return copied
 
     def apply_retention(self) -> int:

@@ -14,6 +14,7 @@ from repro.common.errors import KafkaError, OffsetOutOfRangeError
 from repro.common.metrics import MetricsRegistry
 from repro.kafka.cluster import KafkaCluster
 from repro.kafka.log import LogEntry
+from repro.observability.trace import SpanCollector, TraceContext
 
 
 @dataclass(frozen=True, slots=True)
@@ -107,6 +108,8 @@ class Consumer:
         topic: str,
         member_id: str,
         auto_offset_reset: str = "earliest",
+        metrics: MetricsRegistry | None = None,
+        tracer: SpanCollector | None = None,
     ) -> None:
         if auto_offset_reset not in ("earliest", "latest"):
             raise KafkaError(
@@ -119,9 +122,10 @@ class Consumer:
         self.topic = topic
         self.member_id = member_id
         self.auto_offset_reset = auto_offset_reset
+        self.tracer = tracer
         self._positions: dict[int, int] = {}
         self._seen_generation = -1
-        self.metrics = MetricsRegistry(f"consumer.{group}.{member_id}")
+        self.metrics = metrics or MetricsRegistry(f"consumer.{group}.{member_id}")
         coordinator.join(group, topic, member_id)
 
     def assignment(self) -> list[int]:
@@ -175,6 +179,20 @@ class Consumer:
                 entries = self.cluster.fetch(self.topic, partition, position, budget)
             for entry in entries:
                 out.append(ConsumedMessage(self.topic, partition, entry.offset, entry))
+                if self.tracer is not None:
+                    ctx = TraceContext.from_record(entry.record)
+                    if ctx is not None:
+                        # Consume latency = log dwell time: append to poll.
+                        self.tracer.record_span(
+                            ctx.trace_id,
+                            "consume",
+                            "kafka",
+                            start=entry.append_time,
+                            end=self.cluster.clock.now(),
+                            topic=self.topic,
+                            partition=partition,
+                            group=self.group,
+                        )
             if entries:
                 self._positions[partition] = entries[-1].offset + 1
         self.metrics.counter("records_polled").inc(len(out))

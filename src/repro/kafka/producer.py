@@ -17,6 +17,12 @@ from repro.common.errors import KafkaError
 from repro.common.metrics import MetricsRegistry
 from repro.common.records import Record, stamp_audit_headers
 from repro.kafka.cluster import KafkaCluster
+from repro.observability.trace import (
+    ORIGIN_HEADER,
+    TRACE_HEADER,
+    SpanCollector,
+    TraceContext,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,6 +53,7 @@ def hash_partitioner(key: Any, num_partitions: int) -> int:
 class _Batch:
     partition: int
     records: list[Record] = field(default_factory=list)
+    sent_at: list[float] = field(default_factory=list)
     bytes: int = 0
 
 
@@ -66,6 +73,8 @@ class Producer:
         acks: str = "1",
         batch_size: int = 16_384,
         clock: Clock | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: SpanCollector | None = None,
     ) -> None:
         if acks not in ("0", "1", "all"):
             raise KafkaError(f"acks must be one of '0', '1', 'all'; got {acks!r}")
@@ -74,10 +83,12 @@ class Producer:
         self.acks = acks
         self.batch_size = batch_size
         self.clock = clock or cluster.clock or SystemClock()
+        self.tracer = tracer
         self._batches: dict[tuple[str, int], _Batch] = {}
         self._sticky: dict[str, int] = {}
         self._sends = 0
-        self.metrics = MetricsRegistry(f"producer.{service_name}")
+        self._last_flush: list[RecordMetadata] = []
+        self.metrics = metrics or MetricsRegistry(f"producer.{service_name}")
 
     def send(
         self,
@@ -86,23 +97,40 @@ class Producer:
         key: Any = None,
         event_time: float | None = None,
         tier: str = "standard",
-    ) -> None:
-        """Buffer one record for sending."""
+        headers: dict[str, Any] | None = None,
+    ) -> int:
+        """Buffer one record for sending; returns the partition it joined.
+
+        ``headers`` lets re-producers (e.g. a Flink sink writing derived
+        results back to Kafka) continue an upstream trace instead of
+        starting a new one.
+        """
         record = Record(
             key=key,
             value=value,
             event_time=self.clock.now() if event_time is None else event_time,
+            headers=dict(headers) if headers else {},
         )
         record = stamp_audit_headers(record, self.service_name, tier)
+        if self.tracer is not None and TRACE_HEADER not in record.headers:
+            traced = dict(record.headers)
+            traced[TRACE_HEADER] = traced["uid"]
+            traced.setdefault(ORIGIN_HEADER, record.event_time)
+            record = Record(record.key, record.value, record.event_time, traced)
         partition = self._choose_partition(topic, key)
         batch = self._batches.setdefault(
             (topic, partition), _Batch(partition=partition)
         )
         batch.records.append(record)
+        # Span timestamps must come from the broker-side clock: a producer
+        # constructed with its own clock would otherwise emit produce spans
+        # that end (at append, cluster time) before they start.
+        batch.sent_at.append(self.cluster.clock.now())
         batch.bytes += serde.encoded_size(value)
         self._sends += 1
         if batch.bytes >= self.batch_size:
             self._flush_batch(topic, partition)
+        return partition
 
     def _choose_partition(self, topic: str, key: Any) -> int:
         num_partitions = self.cluster.partition_count(topic)
@@ -122,13 +150,27 @@ class Producer:
         if batch is None or not batch.records:
             return []
         out = []
-        for record in batch.records:
+        for record, sent_at in zip(batch.records, batch.sent_at):
             offset = self.cluster.append(topic, partition, record, acks=self.acks)
             out.append(RecordMetadata(topic, partition, offset))
+            if self.tracer is not None:
+                ctx = TraceContext.from_record(record)
+                if ctx is not None:
+                    self.tracer.record_span(
+                        ctx.trace_id,
+                        "produce",
+                        "kafka",
+                        start=sent_at,
+                        end=self.cluster.clock.now(),
+                        topic=topic,
+                        partition=partition,
+                        offset=offset,
+                    )
         self.metrics.counter("records_sent").inc(len(batch.records))
         self.metrics.counter("batches_sent").inc()
         self.metrics.counter("bytes_sent").inc(batch.bytes)
         self._rotate_sticky(topic)
+        self._last_flush = out
         return out
 
     def flush(self) -> list[RecordMetadata]:
@@ -145,9 +187,16 @@ class Producer:
         key: Any = None,
         event_time: float | None = None,
         tier: str = "standard",
+        headers: dict[str, Any] | None = None,
     ) -> RecordMetadata:
         """Send one record immediately (no batching); returns its metadata."""
-        self.send(topic, value, key=key, event_time=event_time, tier=tier)
-        partition = self._choose_partition(topic, key)
+        partition = self.send(
+            topic, value, key=key, event_time=event_time, tier=tier, headers=headers
+        )
         flushed = self._flush_batch(topic, partition)
+        if not flushed:
+            # send() already flushed the batch (it filled on this record,
+            # rotating the sticky partition); the record's metadata is the
+            # tail of that flush.
+            flushed = self._last_flush
         return flushed[-1]

@@ -1,0 +1,302 @@
+"""Cross-layer tracing: trace contexts, spans and the span collector.
+
+The paper's operational story (Section 8's seconds-level freshness for
+surge and Eats dashboards, Section 9.3's per-use-case monitoring) depends
+on following one record across *every* layer of the Figure 3 data path —
+produce into Kafka, replicate between brokers, process through Flink,
+ingest into Pinot, serve through the broker and Presto.  Related work
+(arXiv:2410.15533, arXiv:2512.16146) makes the same point: latency is only
+trustworthy when measured at system boundaries, not inside one component.
+
+The model here is deliberately small:
+
+* A :class:`TraceContext` rides in the record's audit headers (Section 9.4
+  already stamps a ``uid``; tracing reuses it as the trace id) and is
+  propagated by every hop that understands it.
+* Each hop emits a :class:`Span` — ``produce``, ``replicate``, ``consume``,
+  ``process``, ``ingest``, ``query`` — into one shared
+  :class:`SpanCollector`.
+* The collector shares its export path with the existing
+  :class:`~repro.common.metrics.MetricsRegistry`: every finished span also
+  observes a ``span.<layer>.<name>`` histogram, so dashboards read spans
+  and counters from one snapshot.
+
+Tracing is strictly opt-in: components take ``tracer=None`` and stamp the
+``trace_id`` header only when a collector is attached, so benchmarks that
+do not trace pay nothing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.common.metrics import MetricsRegistry
+
+# Canonical boundary order of the Figure 3 data path.  Spans of one trace,
+# grouped by hop, must start in this order — an inversion means a clock or
+# propagation bug (see SpanCollector.anomalies).
+HOP_ORDER = ("produce", "replicate", "consume", "process", "ingest", "query")
+
+TRACE_HEADER = "trace_id"
+ORIGIN_HEADER = "origin_event_time"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """Identity of one traced record, carried in record headers.
+
+    ``origin_event_time`` is the event time of the *root* record of the
+    trace: derived records (e.g. window results re-produced to Kafka) keep
+    the origin so end-to-end freshness stays boundary-to-boundary.
+    """
+
+    trace_id: str
+    origin_event_time: float | None = None
+
+    def to_headers(self) -> dict[str, Any]:
+        headers: dict[str, Any] = {TRACE_HEADER: self.trace_id}
+        if self.origin_event_time is not None:
+            headers[ORIGIN_HEADER] = self.origin_event_time
+        return headers
+
+    @staticmethod
+    def from_headers(headers: Mapping[str, Any]) -> "TraceContext | None":
+        """Extract a context; ``None`` when the record is untraced.
+
+        Only records explicitly stamped with a ``trace_id`` header are
+        traced — a bare audit ``uid`` does not opt a record in, keeping
+        untraced pipelines free of tracking state.
+        """
+        trace_id = headers.get(TRACE_HEADER)
+        if trace_id is None:
+            return None
+        return TraceContext(trace_id, headers.get(ORIGIN_HEADER))
+
+    @staticmethod
+    def from_record(record: Any) -> "TraceContext | None":
+        return TraceContext.from_headers(record.headers)
+
+
+@dataclass(slots=True)
+class Span:
+    """One hop of one trace: a named interval on the shared clock."""
+
+    trace_id: str
+    name: str  # one of HOP_ORDER (free-form names are allowed too)
+    layer: str  # kafka | flink | pinot | presto | ...
+    start: float
+    end: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name} of {self.trace_id} is still open")
+        return self.end - self.start
+
+
+class SpanCollector:
+    """In-memory sink for spans emitted by every instrumented layer.
+
+    One collector instance is shared across the whole stack (the
+    :class:`~repro.platform.Platform` facade wires it); spans land here and
+    their durations are exported through the attached
+    :class:`MetricsRegistry` so spans and counters share one export path.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        max_open_spans: int = 100_000,
+    ) -> None:
+        self.metrics = metrics
+        self.max_open_spans = max_open_spans
+        self._finished: list[Span] = []
+        self._open: OrderedDict[tuple[str, str], Span] = OrderedDict()
+        # Ingest-side index: Pinot table -> trace ids whose records landed
+        # in it.  Lets query-layer spans attach to the traces a query could
+        # have served (the "queryable" boundary of the freshness story).
+        self._table_traces: dict[str, set[str]] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def record_span(
+        self,
+        trace_id: str,
+        name: str,
+        layer: str,
+        start: float,
+        end: float,
+        **attrs: Any,
+    ) -> Span:
+        """Record a completed span in one shot."""
+        span = Span(trace_id, name, layer, start, end, attrs)
+        self._finish(span)
+        return span
+
+    def begin_span(
+        self, trace_id: str, name: str, layer: str, start: float, **attrs: Any
+    ) -> Span:
+        """Open a span whose end is reported later by a different hop.
+
+        Re-beginning an open (trace_id, name) pair restarts it; spans left
+        open past ``max_open_spans`` are evicted oldest-first (records
+        aggregated away inside Flink never reach a sink, so their process
+        spans can never finish).
+        """
+        span = Span(trace_id, name, layer, start, None, attrs)
+        self._open[(trace_id, name)] = span
+        while len(self._open) > self.max_open_spans:
+            self._open.popitem(last=False)
+        return span
+
+    def end_span(
+        self, trace_id: str, name: str, end: float, **attrs: Any
+    ) -> Span | None:
+        """Finish a previously begun span; no-op when none is open."""
+        span = self._open.pop((trace_id, name), None)
+        if span is None:
+            return None
+        span.end = end
+        span.attrs.update(attrs)
+        self._finish(span)
+        return span
+
+    def record_table_query(
+        self, table: str, layer: str, start: float, end: float, **attrs: Any
+    ) -> int:
+        """Attach a ``query`` span to every trace ingested into ``table``.
+
+        The query layer does not see per-row headers, but it does know the
+        table it served; lineage-wise, each trace whose record is queryable
+        in the table was covered by the query.  Returns the number of
+        traces the span was attached to.  The query latency is observed in
+        metrics exactly once, not once per trace.
+        """
+        traces = self._table_traces.get(table, ())
+        for i, trace_id in enumerate(sorted(traces)):
+            span = Span(
+                trace_id, "query", layer, start, end, dict(attrs, table=table)
+            )
+            self._finish(span, observe_metrics=(i == 0))
+        if not traces and self.metrics is not None:
+            self.metrics.histogram(f"span.{layer}.query").observe(end - start)
+        return len(traces)
+
+    def _finish(self, span: Span, observe_metrics: bool = True) -> None:
+        if span.end is not None and span.end < span.start:
+            if self.metrics is not None:
+                self.metrics.counter("spans_inverted").inc()
+        self._finished.append(span)
+        if span.name == "ingest" and "table" in span.attrs:
+            self._table_traces.setdefault(span.attrs["table"], set()).add(
+                span.trace_id
+            )
+        if self.metrics is not None and observe_metrics:
+            self.metrics.counter("spans_finished").inc()
+            self.metrics.histogram(f"span.{span.layer}.{span.name}").observe(
+                span.duration
+            )
+
+    # -- introspection ------------------------------------------------------
+
+    def spans(self, name: str | None = None, layer: str | None = None) -> list[Span]:
+        return [
+            s
+            for s in self._finished
+            if (name is None or s.name == name)
+            and (layer is None or s.layer == layer)
+        ]
+
+    def trace(self, trace_id: str) -> list[Span]:
+        """Finished spans of one trace, ordered start-then-hop."""
+        spans = [s for s in self._finished if s.trace_id == trace_id]
+        return sorted(spans, key=lambda s: (s.start, _hop_rank(s.name)))
+
+    def trace_ids(self) -> list[str]:
+        return sorted({s.trace_id for s in self._finished})
+
+    def traces_for_table(self, table: str) -> set[str]:
+        return set(self._table_traces.get(table, ()))
+
+    def open_span_count(self) -> int:
+        return len(self._open)
+
+    def trace_latency(
+        self, trace_id: str, first_hop: str = "produce", last_hop: str = "ingest"
+    ) -> float | None:
+        """Boundary-to-boundary latency of one trace, or ``None`` when the
+        trace does not cover both hops."""
+        spans = self.trace(trace_id)
+        starts = [s.start for s in spans if s.name == first_hop]
+        ends = [s.end for s in spans if s.name == last_hop and s.end is not None]
+        if not starts or not ends:
+            return None
+        return max(ends) - min(starts)
+
+    def anomalies(self) -> list[str]:
+        """Consistency violations the tracer surfaced.
+
+        * a span ending before it starts (two hops read different clocks);
+        * a trace whose hop starts run backwards against :data:`HOP_ORDER`
+          (e.g. an ``ingest`` span starting before its ``produce`` span).
+
+        A trace may cross a layer more than once (a window result produced
+        back into Kafka gets a second ``produce``/``replicate`` cycle), so
+        hops are compared occurrence-wise: the k-th earliest span of one
+        hop against the k-th earliest span of the next hop present.
+        """
+        problems: list[str] = []
+        for span in self._finished:
+            if span.end is not None and span.end < span.start:
+                problems.append(
+                    f"span {span.name}[{span.layer}] of {span.trace_id} ends "
+                    f"at {span.end:.6f} before it starts at {span.start:.6f}"
+                )
+        for trace_id in self.trace_ids():
+            starts_by_hop: dict[str, list[float]] = {}
+            for span in self.trace(trace_id):
+                if span.name in HOP_ORDER:
+                    starts_by_hop.setdefault(span.name, []).append(span.start)
+            present = [h for h in HOP_ORDER if h in starts_by_hop]
+            for earlier, later in zip(present, present[1:]):
+                pairs = zip(
+                    sorted(starts_by_hop[earlier]), sorted(starts_by_hop[later])
+                )
+                for a, b in pairs:
+                    if b < a - 1e-9:
+                        problems.append(
+                            f"trace {trace_id}: {later} starts at {b:.6f}, "
+                            f"before {earlier} at {a:.6f}"
+                        )
+        return problems
+
+    def summary(self) -> str:
+        """One text block: span counts and duration percentiles per hop."""
+        by_hop: dict[tuple[str, str], list[float]] = {}
+        for span in self._finished:
+            if span.end is None:
+                continue
+            by_hop.setdefault((span.layer, span.name), []).append(span.duration)
+        lines = [f"{'layer':<8} {'span':<10} {'count':>7} {'p50 (s)':>9} {'p99 (s)':>9}"]
+        for (layer, name), durations in sorted(by_hop.items()):
+            durations.sort()
+            p50 = durations[max(0, (len(durations) + 1) // 2 - 1)]
+            p99 = durations[max(0, -(-99 * len(durations) // 100) - 1)]
+            lines.append(
+                f"{layer:<8} {name:<10} {len(durations):>7} {p50:>9.3f} {p99:>9.3f}"
+            )
+        return "\n".join(lines)
+
+
+def _hop_rank(name: str) -> int:
+    try:
+        return HOP_ORDER.index(name)
+    except ValueError:
+        return len(HOP_ORDER)

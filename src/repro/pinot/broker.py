@@ -15,8 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.common.clock import Clock, SystemClock
 from repro.common.errors import PinotError, QueryError
 from repro.common.metrics import MetricsRegistry
+from repro.observability.trace import SpanCollector
 from repro.pinot.controller import PinotController, TableState
 from repro.pinot.query import (
     PartialResult,
@@ -39,11 +41,20 @@ class QueryResult:
 
 
 class PinotBroker:
-    def __init__(self, controller: PinotController) -> None:
+    def __init__(
+        self,
+        controller: PinotController,
+        clock: Clock | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: SpanCollector | None = None,
+    ) -> None:
         self.controller = controller
-        self.metrics = MetricsRegistry("pinot.broker")
+        self.clock = clock or SystemClock()
+        self.tracer = tracer
+        self.metrics = metrics or MetricsRegistry("pinot.broker")
 
     def execute(self, query: PinotQuery) -> QueryResult:
+        start = self.clock.now() if self.tracer is not None else 0.0
         state = self.controller.table(query.table)
         subqueries = self._route(state)
         partials: list[PartialResult] = []
@@ -58,6 +69,14 @@ class PinotBroker:
         self.metrics.counter("queries").inc()
         result = self._merge(query, partials)
         result.servers_queried = servers
+        if self.tracer is not None:
+            self.tracer.record_table_query(
+                query.table,
+                "pinot",
+                start=start,
+                end=self.clock.now(),
+                servers=servers,
+            )
         return result
 
     # -- routing -------------------------------------------------------------

@@ -37,11 +37,13 @@ class PinotController:
         self,
         servers: list[PinotServer],
         backup: SegmentBackupStrategy,
+        tracer=None,
     ) -> None:
         if not servers:
             raise PinotError("need at least one Pinot server")
         self.servers = list(servers)
         self.backup = backup
+        self.tracer = tracer
         self.tables: dict[str, TableState] = {}
 
     def create_realtime_table(
@@ -65,7 +67,8 @@ class PinotController:
                 for r in range(1, config.replicas)
             ]
         ingestion = RealtimeIngestion(
-            config, kafka, topic, owners, replicas, self.backup
+            config, kafka, topic, owners, replicas, self.backup,
+            tracer=self.tracer,
         )
         state = TableState(config, topic, ingestion, owners, replicas)
         self.tables[config.name] = state

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.common.errors import PinotError
 from repro.common.metrics import MetricsRegistry
 from repro.kafka.cluster import KafkaCluster
+from repro.observability.trace import SpanCollector, TraceContext
 from repro.pinot.recovery import BackupHandle, SegmentBackupStrategy
 from repro.pinot.segment import MutableSegment
 from repro.pinot.server import PinotServer
@@ -58,12 +59,15 @@ class RealtimeIngestion:
         owners: dict[int, PinotServer],
         replicas: dict[int, list[PinotServer]],
         backup: SegmentBackupStrategy,
+        metrics: MetricsRegistry | None = None,
+        tracer: SpanCollector | None = None,
     ) -> None:
         self.config = config
         self.kafka = kafka
         self.topic = topic
         self.backup = backup
-        self.metrics = MetricsRegistry(f"pinot.ingest.{config.name}")
+        self.tracer = tracer
+        self.metrics = metrics or MetricsRegistry(f"pinot.ingest.{config.name}")
         self.partitions: dict[int, _PartitionState] = {}
         for partition in range(kafka.partition_count(topic)):
             if partition not in owners:
@@ -108,6 +112,24 @@ class RealtimeIngestion:
                 doc_id = state.consuming.append(row)
                 state.position = entry.offset + 1
                 ingested += 1
+                if self.tracer is not None:
+                    ctx = TraceContext.from_record(entry.record)
+                    if ctx is not None:
+                        # Ingest = log dwell + append; the row is queryable
+                        # in the consuming segment from this instant (the
+                        # paper's freshness boundary).  Timestamps come from
+                        # the shared Kafka-cluster clock so the span can
+                        # never end before the produce span did.
+                        self.tracer.record_span(
+                            ctx.trace_id,
+                            "ingest",
+                            "pinot",
+                            start=entry.append_time,
+                            end=self.kafka.clock.now(),
+                            table=self.config.name,
+                            partition=state.partition,
+                            segment=state.consuming.name,
+                        )
                 if self.config.upsert_enabled:
                     manager = state.owner.upsert_manager(
                         self.config.name, state.partition

@@ -15,7 +15,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.common.clock import Clock, SystemClock
 from repro.common.errors import SqlPlanError
+from repro.observability.trace import SpanCollector
 from repro.sql.parser import (
     BoolOp,
     Column,
@@ -46,6 +48,7 @@ class QueryStats:
     pushed_aggregation: bool = False
     joined_rows: int = 0
     connectors_used: list[str] = field(default_factory=list)
+    tables_scanned: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -57,12 +60,31 @@ class QueryOutput:
 class PrestoEngine:
     """Federated executor over a catalog of connectors."""
 
-    def __init__(self, catalog: dict[str, Connector]) -> None:
+    def __init__(
+        self,
+        catalog: dict[str, Connector],
+        clock: Clock | None = None,
+        tracer: SpanCollector | None = None,
+    ) -> None:
         # catalog: logical table name -> connector serving it
         self.catalog = catalog
+        self.clock = clock or SystemClock()
+        self.tracer = tracer
 
     def execute(self, sql: str) -> QueryOutput:
-        return self._execute_select(parse(sql))
+        start = self.clock.now() if self.tracer is not None else 0.0
+        output = self._execute_select(parse(sql))
+        if self.tracer is not None:
+            end = self.clock.now()
+            for table in dict.fromkeys(output.stats.tables_scanned):
+                self.tracer.record_table_query(
+                    table,
+                    "presto",
+                    start=start,
+                    end=end,
+                    rows=len(output.rows),
+                )
+        return output
 
     # -- planning & execution -------------------------------------------------
 
@@ -87,10 +109,12 @@ class PrestoEngine:
             inner = self._execute_select(source.select)
             stats.rows_transferred += inner.stats.rows_transferred
             stats.source_rows_examined += inner.stats.source_rows_examined
+            stats.tables_scanned.extend(inner.stats.tables_scanned)
             rows = inner.rows
             return self._apply_residual(select, rows, stats, joined=False)
         connector = self._connector_for(source.name)
         stats.connectors_used.append(connector.name)
+        stats.tables_scanned.append(source.name)
         caps = connector.capabilities()
         pushable, residual = _split_conjuncts(select.where)
         push_filters = pushable if "predicate" in caps else []
@@ -175,10 +199,12 @@ class PrestoEngine:
             inner = self._execute_select(table_source.select)
             stats.rows_transferred += inner.stats.rows_transferred
             stats.source_rows_examined += inner.stats.source_rows_examined
+            stats.tables_scanned.extend(inner.stats.tables_scanned)
             return table_source.alias, inner.rows
         alias = table_source.alias or table_source.name
         connector = self._connector_for(table_source.name)
         stats.connectors_used.append(connector.name)
+        stats.tables_scanned.append(table_source.name)
         caps = connector.capabilities()
         pushable, __ = _split_conjuncts(select.where)
         # Only predicates scoped to this alias can go down with this scan.

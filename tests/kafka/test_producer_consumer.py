@@ -67,6 +67,20 @@ class TestProducer:
         assert len(flushed) == 1
         assert flushed[0].topic == "events"
 
+    def test_produce_when_send_autoflushes_full_batch(self, kafka, clock):
+        """Regression: a keyless produce() whose record fills the batch is
+        flushed inside send() — which rotates the sticky partition — and
+        produce() must still return that record's metadata rather than
+        flushing the (empty) next partition."""
+        producer = Producer(kafka, "svc", batch_size=1, clock=clock)
+        metas = [producer.produce("events", {"i": i}) for i in range(8)]
+        offsets = {}
+        for i, meta in enumerate(metas):
+            assert meta.offset == offsets.get(meta.partition, 0)
+            offsets[meta.partition] = meta.offset + 1
+            entry = kafka.fetch("events", meta.partition, meta.offset)[0]
+            assert entry.record.value == {"i": i}
+
 
 class TestConsumerGroups:
     def test_single_consumer_gets_all_partitions(self, kafka, coordinator):

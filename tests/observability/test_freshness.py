@@ -1,0 +1,65 @@
+"""Unit tests for the freshness report and probes."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.observability.freshness import FreshnessProbe, FreshnessReport
+
+
+class TestFreshnessReport:
+    def test_nearest_rank_percentiles(self):
+        report = FreshnessReport.from_samples([float(i) for i in range(1, 101)])
+        assert report.percentile(50) == 50.0
+        assert report.percentile(99) == 99.0
+        assert report.percentile(100) == 100.0
+        assert report.percentile(1) == 1.0
+
+    def test_single_sample_is_every_percentile(self):
+        report = FreshnessReport.from_samples([3.0])
+        assert report.p50 == 3.0
+        assert report.p99 == 3.0
+        assert report.max == 3.0
+
+    def test_samples_sorted_on_construction(self):
+        report = FreshnessReport.from_samples([9.0, 1.0, 5.0])
+        assert report.samples == (1.0, 5.0, 9.0)
+        assert report.mean == 5.0
+        assert report.count == 3
+
+    def test_matches_histogram_percentile(self):
+        # The report must agree with the registry Histogram so spans and
+        # probe samples can be compared number-for-number.
+        from repro.common.metrics import Histogram
+
+        samples = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+        hist = Histogram()
+        for s in samples:
+            hist.observe(s)
+        report = FreshnessReport.from_samples(samples)
+        for pct in (1, 25, 50, 75, 90, 99, 100):
+            assert report.percentile(pct) == hist.percentile(pct)
+
+    def test_empty_report_raises(self):
+        report = FreshnessReport.from_samples([])
+        with pytest.raises(ValueError):
+            report.p50
+
+    def test_render_mentions_percentiles(self):
+        text = FreshnessReport.from_samples([1.0, 2.0]).render()
+        assert "p50" in text and "p99" in text
+
+
+class TestFreshnessProbe:
+    def test_observe_visible_samples_against_clock(self):
+        clock = SimulatedClock()
+        probe = FreshnessProbe(clock=clock)
+        clock.advance(10.0)
+        assert probe.observe_visible(4.0) == 6.0
+        clock.advance(5.0)
+        probe.observe_visible(14.0)
+        assert probe.sample_count == 2
+        assert probe.report().samples == (1.0, 6.0)
+
+    def test_explicit_now_overrides_clock(self):
+        probe = FreshnessProbe(clock=SimulatedClock())
+        assert probe.observe_visible(2.0, now=9.0) == 7.0

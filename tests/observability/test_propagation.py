@@ -1,0 +1,143 @@
+"""Trace context propagation across layer boundaries.
+
+Each test exercises one boundary of the Figure 3 path: producer stamping,
+broker replication, consumer polling, and the Flink source -> window ->
+Kafka sink chain that re-produces derived records under the origin trace.
+"""
+
+from repro.common.clock import SimulatedClock
+from repro.flink.graph import StreamEnvironment
+from repro.flink.runtime import JobRuntime
+from repro.flink.windows import CountAggregate, TumblingWindows
+from repro.kafka.cluster import KafkaCluster, TopicConfig
+from repro.kafka.consumer import Consumer, GroupCoordinator
+from repro.kafka.producer import Producer
+from repro.observability.trace import TRACE_HEADER, SpanCollector, TraceContext
+
+
+def _cluster(tracer, partitions=2):
+    clock = SimulatedClock()
+    kafka = KafkaCluster("k", 3, clock=clock, tracer=tracer)
+    kafka.create_topic("events", TopicConfig(partitions=partitions))
+    return clock, kafka
+
+
+class TestProducerStamping:
+    def test_untraced_producer_adds_no_trace_header(self):
+        clock, kafka = _cluster(tracer=None)
+        producer = Producer(kafka, "svc", clock=clock)
+        meta = producer.produce("events", {"v": 1}, key="a")
+        entry = kafka.fetch("events", meta.partition, meta.offset, 1)[0]
+        assert TRACE_HEADER not in entry.record.headers
+        assert TraceContext.from_record(entry.record) is None
+
+    def test_traced_producer_stamps_uid_as_trace_id(self):
+        tracer = SpanCollector()
+        clock, kafka = _cluster(tracer)
+        producer = Producer(kafka, "svc", clock=clock, tracer=tracer)
+        clock.advance(3.0)
+        meta = producer.produce("events", {"v": 1}, key="a", event_time=2.0)
+        entry = kafka.fetch("events", meta.partition, meta.offset, 1)[0]
+        ctx = TraceContext.from_record(entry.record)
+        assert ctx is not None
+        assert ctx.trace_id == entry.record.headers["uid"]
+        assert ctx.origin_event_time == 2.0
+        [span] = tracer.spans("produce")
+        assert span.trace_id == ctx.trace_id
+        assert span.end >= span.start
+
+    def test_existing_trace_header_is_kept(self):
+        # A derived record re-produced under its origin trace must not be
+        # re-stamped with a fresh id.
+        tracer = SpanCollector()
+        clock, kafka = _cluster(tracer)
+        producer = Producer(kafka, "svc", clock=clock, tracer=tracer)
+        producer.produce(
+            "events", {"v": 1}, key="a", headers={TRACE_HEADER: "origin-1"}
+        )
+        [span] = tracer.spans("produce")
+        assert span.trace_id == "origin-1"
+
+
+class TestBrokerAndConsumer:
+    def test_replication_emits_replicate_spans(self):
+        tracer = SpanCollector()
+        clock, kafka = _cluster(tracer)
+        producer = Producer(kafka, "svc", clock=clock, tracer=tracer)
+        producer.produce("events", {"v": 1}, key="a")
+        clock.advance(1.0)
+        kafka.replicate()
+        [span] = tracer.spans("replicate")
+        assert span.layer == "kafka"
+        assert span.end >= span.start
+
+    def test_consumer_emits_consume_span_per_traced_record(self):
+        tracer = SpanCollector()
+        clock, kafka = _cluster(tracer, partitions=1)
+        producer = Producer(kafka, "svc", clock=clock, tracer=tracer)
+        for i in range(3):
+            producer.produce("events", {"v": i}, key="a")
+        consumer = Consumer(
+            kafka, GroupCoordinator(kafka), "g", "events", "m0", tracer=tracer
+        )
+        messages = consumer.poll()
+        assert len(messages) == 3
+        consume = tracer.spans("consume")
+        assert len(consume) == 3
+        produced_ids = {s.trace_id for s in tracer.spans("produce")}
+        assert {s.trace_id for s in consume} == produced_ids
+
+
+class TestFlinkPropagation:
+    def test_window_result_re_produced_under_origin_trace(self):
+        """source -> key_by -> tumbling count -> Kafka sink keeps a
+        representative origin trace on the derived record."""
+        tracer = SpanCollector()
+        clock, kafka = _cluster(tracer, partitions=1)
+        kafka.create_topic("counts", TopicConfig(partitions=1))
+        producer = Producer(kafka, "svc", clock=clock, tracer=tracer)
+        for i in range(10):
+            clock.advance(5.0)
+            producer.produce(
+                "events", {"v": i}, key="a", event_time=clock.now()
+            )
+        env = StreamEnvironment()
+        (
+            env.from_kafka(kafka, "events", group="job")
+            .key_by(lambda v: "all")
+            .window(TumblingWindows(20.0))
+            .aggregate(CountAggregate())
+            .sink_to_kafka(kafka, "counts")
+        )
+        runtime = JobRuntime(env.build("counter"), tracer=tracer)
+        runtime.run_until_quiescent()
+
+        produced_ids = {
+            s.trace_id for s in tracer.spans("produce") if s.attrs["topic"] == "events"
+        }
+        out = kafka.fetch("counts", 0, 0, 100)
+        assert out  # at least one closed window reached the sink
+        for entry in out:
+            ctx = TraceContext.from_record(entry.record)
+            assert ctx is not None
+            assert ctx.trace_id in produced_ids
+
+    def test_process_span_brackets_source_to_sink(self):
+        tracer = SpanCollector()
+        clock, kafka = _cluster(tracer, partitions=1)
+        kafka.create_topic("out", TopicConfig(partitions=1))
+        producer = Producer(kafka, "svc", clock=clock, tracer=tracer)
+        producer.produce("events", {"v": 1}, key="a", event_time=1.0)
+        env = StreamEnvironment()
+        (
+            env.from_kafka(kafka, "events", group="job")
+            .map(lambda v: v)
+            .sink_to_kafka(kafka, "out")
+        )
+        runtime = JobRuntime(env.build("passthrough"), tracer=tracer)
+        runtime.run_until_quiescent()
+        [span] = tracer.spans("process")
+        assert span.layer == "flink"
+        assert span.finished
+        assert span.attrs["job"] == "passthrough"
+        assert tracer.anomalies() == []
