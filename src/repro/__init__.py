@@ -17,15 +17,19 @@ The package mirrors the paper's Figure 2/Figure 3 architecture:
 * ``repro.usecases`` — Section 5's four representative applications
 * ``repro.workloads``— seeded synthetic workload generators
 * ``repro.observability`` — cross-layer tracing, freshness probes, SLOs
+* ``repro.chaos``    — deterministic fault injection + recovery verification
 * ``repro.platform`` — the ``Platform`` facade wiring all of the above
 
 The names below are the blessed entry points; deeper imports remain
 available for specialised use.
 """
 
+from repro.chaos.harness import ChaosHarness
+from repro.chaos.report import RecoveryReport
 from repro.common.clock import SimulatedClock, SystemClock
 from repro.common.metrics import MetricsRegistry
 from repro.common.records import Record
+from repro.common.retry import RetryPolicy
 from repro.flink.graph import StreamEnvironment
 from repro.flink.runtime import JobRuntime
 from repro.kafka.cluster import KafkaCluster, TopicConfig
@@ -51,7 +55,7 @@ from repro.sql.presto.connector import HiveConnector, MemoryConnector, PinotConn
 from repro.sql.presto.engine import PrestoEngine
 from repro.storage.blobstore import BlobStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # facade
@@ -100,4 +104,8 @@ __all__ = [
     "FreshnessReport",
     "SloMonitor",
     "SloTarget",
+    # chaos
+    "ChaosHarness",
+    "RecoveryReport",
+    "RetryPolicy",
 ]

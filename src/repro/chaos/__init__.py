@@ -1,0 +1,17 @@
+"""Deterministic chaos engineering for the simulated platform.
+
+Scripted, seeded fault injection (broker death, replication stalls,
+blob-store outages, Flink crash-restore, Pinot server loss, region
+failover) with recovery verification — see :mod:`repro.chaos.harness`.
+"""
+
+from repro.chaos.faults import FaultEvent
+from repro.chaos.harness import ChaosHarness
+from repro.chaos.report import InvariantResult, RecoveryReport
+
+__all__ = [
+    "ChaosHarness",
+    "FaultEvent",
+    "InvariantResult",
+    "RecoveryReport",
+]

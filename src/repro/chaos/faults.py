@@ -1,0 +1,55 @@
+"""Fault taxonomy for the chaos harness.
+
+Every injected fault (and every repair) is recorded as a
+:class:`FaultEvent` the moment it fires, giving each chaos run a flat,
+append-only timeline.  Because the harness schedules faults on the shared
+:class:`~repro.common.clock.SimulatedClock` and draws jitter from a seeded
+RNG stream, the same seed replays the same timeline byte-for-byte — the
+property the recovery invariants lean on.
+
+Kind strings are namespaced ``layer.action`` so the timeline reads like a
+cross-layer trace (``kafka.kill_broker``, ``pinot.kill_server``,
+``flink.crash``, ``storage.outage``, ``region.fail`` ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Kafka faults (Section 4.1 primitives under failure)
+KAFKA_KILL_BROKER = "kafka.kill_broker"
+KAFKA_RESTART_BROKER = "kafka.restart_broker"
+KAFKA_PAUSE_REPLICATION = "kafka.pause_replication"
+KAFKA_RESUME_REPLICATION = "kafka.resume_replication"
+
+# Flink faults (Section 4.2: checkpoint/restore)
+FLINK_CHECKPOINT = "flink.checkpoint"
+FLINK_CRASH = "flink.crash"
+
+# Pinot faults (Section 4.3.4: peer-to-peer segment recovery)
+PINOT_KILL_SERVER = "pinot.kill_server"
+PINOT_RECOVER_SERVER = "pinot.recover_server"
+
+# Blob-store faults (segment store / checkpoint store outages)
+STORAGE_OUTAGE = "storage.outage"
+STORAGE_RESTORE = "storage.restore"
+
+# Multi-region faults (Section 6: all-active failover)
+REGION_FAIL = "region.fail"
+REGION_RECOVER = "region.recover"
+
+CUSTOM = "custom"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One fault or repair, recorded at the instant it fired."""
+
+    time: float  # simulated clock at fire time
+    kind: str  # one of the namespaced kinds above
+    target: str  # broker id, server name, store name, region, ...
+    detail: str = ""
+
+    def render(self) -> str:
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"t={self.time:10.2f}  {self.kind:<26} {self.target}{suffix}"

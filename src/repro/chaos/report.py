@@ -1,0 +1,59 @@
+"""Recovery verification: did the platform heal, and did it heal *right*?
+
+A chaos run without assertions is a demo, not a test.  The
+:class:`RecoveryReport` pairs the deterministic fault timeline with the
+outcome of every registered invariant — no acked-record loss under
+``acks=all``, exactly-once window sums after a crash-restore, freshness
+SLO re-attained within budget — and renders both as one fixed-format text
+block.  Two runs with the same seed produce byte-identical reports, so a
+report diff IS a determinism regression test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chaos.faults import FaultEvent
+
+
+@dataclass(frozen=True, slots=True)
+class InvariantResult:
+    """Outcome of one recovery invariant, evaluated after the run."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        suffix = f": {self.detail}" if self.detail else ""
+        return f"[{mark}] {self.name}{suffix}"
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """The verdict of one chaos run: timeline + invariant outcomes."""
+
+    seed: int
+    events: tuple[FaultEvent, ...]
+    invariants: tuple[InvariantResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(result.passed for result in self.invariants)
+
+    @property
+    def failures(self) -> tuple[InvariantResult, ...]:
+        return tuple(r for r in self.invariants if not r.passed)
+
+    def render(self) -> str:
+        passed = sum(1 for r in self.invariants if r.passed)
+        lines = [
+            f"chaos seed {self.seed}: {len(self.events)} fault events, "
+            f"{passed}/{len(self.invariants)} invariants passed",
+            "timeline:",
+        ]
+        lines.extend(f"  {event.render()}" for event in self.events)
+        lines.append("invariants:")
+        lines.extend(f"  {result.render()}" for result in self.invariants)
+        return "\n".join(lines)

@@ -30,6 +30,11 @@ class SchemaCompatibilityError(SchemaError):
     """A schema evolution would break backward compatibility."""
 
 
+class RetryExhaustedError(ReproError):
+    """A RetryPolicy ran out of attempts (or time budget); the cause of the
+    final failure is chained as ``__cause__``."""
+
+
 # --- storage -------------------------------------------------------------
 
 class StorageError(ReproError):
@@ -152,3 +157,10 @@ class BackfillError(ReproError):
 
 class PlatformError(ReproError):
     """Platform facade misused (component not configured yet)."""
+
+
+# --- chaos ---------------------------------------------------------------
+
+class ChaosError(ReproError):
+    """Chaos harness misconfiguration (unknown fault kind, missing target,
+    crash requested with no checkpoint to restore from, ...)."""

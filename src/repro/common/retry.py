@@ -1,0 +1,105 @@
+"""Shared bounded-retry policy with seeded exponential backoff.
+
+Before the chaos layer, every component that faced a transient failure
+rolled its own loop: the DLQ consumer retried a handler a fixed number of
+times, the consumer proxy re-invoked its endpoint, uReplicator skipped an
+unavailable broker until the next round, and the segment backup silently
+re-queued on a store outage.  Those loops disagreed on attempt counting
+(the DLQ's off-by-one) and none of them backed off, which makes recovery
+timelines impossible to reason about under injected faults.
+
+:class:`RetryPolicy` centralizes the semantics:
+
+* ``max_attempts`` is the *total* number of attempts, not "retries after
+  the first try" — an exhausted call made exactly ``max_attempts`` calls.
+* Backoff grows exponentially from ``base_delay`` by ``multiplier``,
+  capped at ``max_delay``, with multiplicative jitter drawn from a
+  *caller-provided* RNG so a seeded experiment replays byte-identically.
+* Sleeps are charged to a :class:`~repro.common.clock.SimulatedClock` when
+  one is passed, which lets scheduled repairs (a broker restart timer)
+  fire *during* the backoff — exactly how a real retry survives a blip.
+* An optional ``timeout`` bounds the total simulated time budget.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.common.errors import RetryExhaustedError
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.5  # +/- fraction applied to each backoff delay
+    timeout: float | None = None  # total simulated-time budget
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Delay before retry following failed attempt ``attempt`` (1-based)."""
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if rng is not None and self.jitter > 0 and raw > 0:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        clock: Any = None,
+        rng: random.Random | None = None,
+        on_retry: Callable[[int, BaseException, float], None] | None = None,
+    ) -> Any:
+        """Run ``fn`` under this policy; return its result.
+
+        ``clock`` — when it supports ``advance`` (a simulated clock), each
+        backoff advances it, firing any repair timers that fall inside the
+        window.  ``on_retry(attempt, exc, delay)`` is invoked before each
+        backoff.  Raises :class:`RetryExhaustedError` (chaining the last
+        failure) once attempts or the time budget run out.
+        """
+        started = clock.now() if clock is not None else None
+        last: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except retry_on as exc:
+                last = exc
+                if attempt >= self.max_attempts:
+                    break
+                delay = self.backoff(attempt, rng)
+                if (
+                    self.timeout is not None
+                    and started is not None
+                    and clock.now() + delay - started > self.timeout
+                ):
+                    break
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                if clock is not None and hasattr(clock, "advance"):
+                    clock.advance(delay)
+        raise RetryExhaustedError(
+            f"gave up after {min(attempt, self.max_attempts)} attempts: {last!r}"
+        ) from last
+
+
+#: Immediate retries (no backoff) — the drop-in replacement for the old
+#: ad-hoc ``for __ in range(n)`` loops, attempt-count semantics fixed.
+def immediate(max_attempts: int) -> RetryPolicy:
+    return RetryPolicy(
+        max_attempts=max_attempts, base_delay=0.0, jitter=0.0, max_delay=0.0
+    )

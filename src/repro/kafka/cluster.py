@@ -98,6 +98,7 @@ class KafkaCluster:
         self.brokers: dict[int, Broker] = {i: Broker(i) for i in range(num_brokers)}
         self.topics: dict[str, Topic] = {}
         self._assign_cursor = itertools.count()
+        self._replication_paused = False
         self.metrics = metrics or MetricsRegistry(f"kafka.{name}")
 
     # -- cluster membership ---------------------------------------------------
@@ -121,8 +122,17 @@ class KafkaCluster:
                     self._elect_leader(pstate)
 
     def restart_broker(self, broker_id: int) -> None:
-        """Bring a broker back; its replica logs truncate to the current
-        leader (a restarted follower discards diverged entries) and resync."""
+        """Bring a broker back; its replica logs truncate to their common
+        prefix with the current leader (a restarted replica discards
+        diverged entries, however long its log) and resync.
+
+        When no live leader exists, leadership is re-elected against the
+        replica preference order restricted to live brokers — the restarted
+        broker does not unconditionally "take over as-is", so a stale
+        ``pstate.leader`` pointing at a still-dead broker is repaired and a
+        later-restarted preferred replica joins as a follower and resyncs
+        instead of silently keeping a diverged log.
+        """
         broker = self._broker(broker_id)
         broker.alive = True
         for topic in self.topics.values():
@@ -131,13 +141,17 @@ class KafkaCluster:
                     continue
                 leader_log = self._leader_log(pstate)
                 if leader_log is None:
-                    # No live leader existed; this broker takes over as-is.
-                    pstate.leader = broker_id
-                    continue
+                    self._elect_leader(pstate)
+                    leader_log = self._leader_log(pstate)
+                    if leader_log is None:
+                        continue  # unreachable: this broker is live
                 follower_log = broker.replicas[(pstate.topic, pstate.partition)]
                 if follower_log is not leader_log:
+                    # Length alone cannot detect divergence: a previous
+                    # leader may hold *more* entries, none of them shared
+                    # past the divergence point.
                     follower_log.truncate_to(
-                        min(follower_log.end_offset, leader_log.end_offset)
+                        follower_log.common_prefix_end(leader_log)
                     )
         self.replicate()
 
@@ -293,12 +307,26 @@ class KafkaCluster:
 
     # -- background work --------------------------------------------------------
 
+    def pause_replication(self) -> None:
+        """Chaos hook: follower replication stops until resumed, widening
+        the acks=1 loss window without killing any broker."""
+        self._replication_paused = True
+
+    def resume_replication(self) -> None:
+        self._replication_paused = False
+
+    @property
+    def replication_paused(self) -> bool:
+        return self._replication_paused
+
     def replicate(self) -> int:
         """Catch followers up to their leaders (async replication step).
 
         Returns the number of entries copied.  Call this between produce
         and failure injection to control the replication lag window.
         """
+        if self._replication_paused:
+            return 0
         copied = 0
         for topic in self.topics.values():
             for pstate in topic.partitions:

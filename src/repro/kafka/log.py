@@ -82,6 +82,23 @@ class PartitionLog:
         index = max(0, offset - self._start_offset)
         yield from self._entries[index:]
 
+    def common_prefix_end(self, other: "PartitionLog") -> int:
+        """First offset at which this log diverges from ``other``.
+
+        Compares the overlapping retained entries record-by-record; entries
+        below either log's start offset are assumed to agree (anything that
+        aged into retention/tiering was already replicated).  Returns an
+        offset suitable for :meth:`truncate_to`: truncating there removes
+        every entry this log holds that ``other`` does not share.
+        """
+        offset = max(self._start_offset, other.start_offset)
+        end = min(self.end_offset, other.end_offset)
+        while offset < end:
+            if self.entry_at(offset).record != other.entry_at(offset).record:
+                return offset
+            offset += 1
+        return end
+
     def truncate_to(self, end_offset: int) -> int:
         """Discard entries at or after ``end_offset`` (leader-change
         truncation of a diverged follower).  Returns entries removed."""

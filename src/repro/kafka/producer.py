@@ -13,9 +13,15 @@ from typing import Any
 
 from repro.common import serde
 from repro.common.clock import Clock, SystemClock
-from repro.common.errors import KafkaError
+from repro.common.errors import (
+    BrokerUnavailableError,
+    KafkaError,
+    NotEnoughReplicasError,
+)
 from repro.common.metrics import MetricsRegistry
 from repro.common.records import Record, stamp_audit_headers
+from repro.common.retry import RetryPolicy
+from repro.common.rng import seeded_rng
 from repro.kafka.cluster import KafkaCluster
 from repro.observability.trace import (
     ORIGIN_HEADER,
@@ -75,6 +81,7 @@ class Producer:
         clock: Clock | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: SpanCollector | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if acks not in ("0", "1", "all"):
             raise KafkaError(f"acks must be one of '0', '1', 'all'; got {acks!r}")
@@ -84,6 +91,11 @@ class Producer:
         self.batch_size = batch_size
         self.clock = clock or cluster.clock or SystemClock()
         self.tracer = tracer
+        # Optional: retry transient broker failures instead of surfacing
+        # them.  Backoff advances the (simulated) broker clock, so a broker
+        # restart scheduled during the backoff window lets the retry land.
+        self.retry_policy = retry_policy
+        self._retry_rng = seeded_rng(0, f"producer.{service_name}")
         self._batches: dict[tuple[str, int], _Batch] = {}
         self._sticky: dict[str, int] = {}
         self._sends = 0
@@ -145,13 +157,23 @@ class Producer:
         num_partitions = self.cluster.partition_count(topic)
         self._sticky[topic] = (self._sticky.get(topic, 0) + 1) % num_partitions
 
+    def _append(self, topic: str, partition: int, record: Record) -> int:
+        if self.retry_policy is None:
+            return self.cluster.append(topic, partition, record, acks=self.acks)
+        return self.retry_policy.call(
+            lambda: self.cluster.append(topic, partition, record, acks=self.acks),
+            retry_on=(BrokerUnavailableError, NotEnoughReplicasError),
+            clock=self.cluster.clock,
+            rng=self._retry_rng,
+        )
+
     def _flush_batch(self, topic: str, partition: int) -> list[RecordMetadata]:
         batch = self._batches.pop((topic, partition), None)
         if batch is None or not batch.records:
             return []
         out = []
         for record, sent_at in zip(batch.records, batch.sent_at):
-            offset = self.cluster.append(topic, partition, record, acks=self.acks)
+            offset = self._append(topic, partition, record)
             out.append(RecordMetadata(topic, partition, offset))
             if self.tracer is not None:
                 ctx = TraceContext.from_record(record)

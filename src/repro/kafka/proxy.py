@@ -29,11 +29,13 @@ from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.common.clock import SimulatedClock
-from repro.common.errors import KafkaError
+from repro.common.errors import KafkaError, RetryExhaustedError
 from repro.common.metrics import MetricsRegistry
-from repro.kafka.cluster import KafkaCluster, TopicConfig
+from repro.common.retry import RetryPolicy, immediate
+from repro.common.rng import seeded_rng
+from repro.kafka.cluster import KafkaCluster
 from repro.kafka.consumer import ConsumedMessage, Consumer, GroupCoordinator
-from repro.kafka.dlq import dlq_topic_name
+from repro.kafka.dlq import create_dlq_topic, make_dead_letter
 
 
 class EndpointError(KafkaError):
@@ -92,25 +94,27 @@ class ConsumerProxy:
         num_workers: int = 8,
         max_retries: int = 3,
         clock: SimulatedClock | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if num_workers < 1:
             raise KafkaError(f"num_workers must be >= 1, got {num_workers}")
+        if max_retries < 1:
+            raise KafkaError(f"max_retries must be >= 1, got {max_retries}")
         self.cluster = cluster
         self.topic = topic
         self.group = group
         self.endpoint = endpoint
         self.num_workers = num_workers
-        self.max_retries = max_retries
+        # Same semantics as the DLQ consumer: total attempts per delivery.
+        self.retry_policy = retry_policy or immediate(max_retries)
+        self.max_retries = self.retry_policy.max_attempts
         self.clock = clock if clock is not None else cluster.clock
         if not isinstance(self.clock, SimulatedClock):
             raise KafkaError("ConsumerProxy requires a SimulatedClock")
         # The proxy itself is one "member" consuming every partition.
         self._consumer = Consumer(cluster, coordinator, group, topic, "proxy")
-        self._dlq_topic = dlq_topic_name(topic, group)
-        if not cluster.has_topic(self._dlq_topic):
-            cluster.create_topic(
-                self._dlq_topic, TopicConfig(partitions=1, replication_factor=1)
-            )
+        self._dlq_topic = create_dlq_topic(cluster, topic, group)
+        self._retry_rng = seeded_rng(0, f"proxy.{group}")
         self.metrics = MetricsRegistry(f"proxy.{group}")
 
     @property
@@ -164,22 +168,39 @@ class ConsumerProxy:
         return report
 
     def _deliver(self, message: ConsumedMessage) -> tuple[float, int, bool]:
-        """Attempt delivery with retries.
+        """Attempt delivery under the retry policy.
 
-        Returns (total worker time consumed, retry count, dead-lettered?).
-        Failed attempts still cost service time — the endpoint did work
-        before failing.
+        Returns (total worker time consumed, failed-attempt count,
+        dead-lettered?).  Failed attempts still cost service time — the
+        endpoint did work before failing.  Backoff, if the policy has any,
+        is worker idle time and is not charged to the worker budget.
         """
         total = 0.0
-        for attempt in range(self.max_retries + 1):
+        failures = 0
+
+        def attempt() -> None:
+            nonlocal total, failures
             try:
                 total += self.endpoint.invoke(message)
-                return total, attempt, False
             except EndpointError:
+                failures += 1
                 # Assume a failed call costs a full service time slot.
                 total += getattr(self.endpoint, "service_time", 0.01)
-        self.cluster.append(self._dlq_topic, 0, message.entry.record)
-        return total, self.max_retries, True
+                raise
+
+        try:
+            self.retry_policy.call(
+                attempt, retry_on=(EndpointError,), rng=self._retry_rng
+            )
+        except RetryExhaustedError:
+            # Same routing as DlqConsumer: source partition + provenance.
+            self.cluster.append(
+                self._dlq_topic,
+                message.partition,
+                make_dead_letter(message, self.max_retries),
+            )
+            return total, failures, True
+        return total, failures, False
 
 
 def polling_group_makespan(

@@ -22,8 +22,16 @@ from __future__ import annotations
 from bisect import bisect_right
 from dataclasses import dataclass, field
 
-from repro.common.errors import BrokerUnavailableError, KafkaError
+from repro.common.errors import (
+    BrokerUnavailableError,
+    KafkaError,
+    NotEnoughReplicasError,
+    RetryExhaustedError,
+)
 from repro.common.metrics import MetricsRegistry
+from repro.common.records import Record
+from repro.common.retry import RetryPolicy
+from repro.common.rng import seeded_rng
 from repro.kafka.cluster import KafkaCluster, TopicConfig
 
 
@@ -104,6 +112,7 @@ class UReplicator:
         checkpoint_store: OffsetMappingStore | None = None,
         checkpoint_interval: int = 100,
         burst_lag_threshold: int = 5000,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if num_workers < 1:
             raise KafkaError("uReplicator needs at least one active worker")
@@ -114,7 +123,11 @@ class UReplicator:
         self.checkpoint_store = checkpoint_store
         self.checkpoint_interval = checkpoint_interval
         self.burst_lag_threshold = burst_lag_threshold
+        # Broker blips on either side retry under this policy before the
+        # worker gives the partition up for the round.
+        self.retry_policy = retry_policy
         self.route = f"{source.name}->{destination.name}"
+        self._retry_rng = seeded_rng(0, f"ureplicator.{self.route}")
         if not destination.has_topic(topic):
             src_cfg = source.topics[topic].config
             destination.create_topic(
@@ -242,9 +255,38 @@ class UReplicator:
                 continue
         return lag
 
+    def _fetch(self, partition: int, position: int, budget: int) -> list:
+        fetch = lambda: self.source.fetch(self.topic, partition, position, budget)
+        if self.retry_policy is None:
+            return fetch()
+        return self.retry_policy.call(
+            fetch,
+            retry_on=(BrokerUnavailableError,),
+            clock=self.source.clock,
+            rng=self._retry_rng,
+        )
+
+    def _append(self, partition: int, record: Record) -> None:
+        append = lambda: self.destination.append(self.topic, partition, record)
+        if self.retry_policy is None:
+            append()
+            return
+        self.retry_policy.call(
+            append,
+            retry_on=(BrokerUnavailableError, NotEnoughReplicasError),
+            clock=self.destination.clock,
+            rng=self._retry_rng,
+        )
+
     def run_step(self) -> int:
         """One replication round: every active worker copies up to its
-        throughput from its partitions.  Returns records replicated."""
+        throughput from its partitions.  Returns records replicated.
+
+        A partition whose source leader (or destination) stays down through
+        the retry policy is skipped for the round without advancing its
+        position — replication there resumes, loss-free, once the broker is
+        back.
+        """
         copied = 0
         for worker in self._active_workers():
             budget = self.worker_throughput
@@ -253,11 +295,17 @@ class UReplicator:
                     break
                 position = self._positions[partition]
                 try:
-                    entries = self.source.fetch(self.topic, partition, position, budget)
-                except BrokerUnavailableError:
+                    entries = self._fetch(partition, position, budget)
+                except (BrokerUnavailableError, RetryExhaustedError):
+                    self.metrics.counter("fetch_skips").inc()
                     continue
                 for entry in entries:
-                    self.destination.append(self.topic, partition, entry.record)
+                    try:
+                        self._append(partition, entry.record)
+                    except (BrokerUnavailableError, RetryExhaustedError,
+                            NotEnoughReplicasError):
+                        self.metrics.counter("append_skips").inc()
+                        break
                     self._positions[partition] = entry.offset + 1
                     self._since_checkpoint[partition] += 1
                     worker.replicated += 1

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.common.errors import PinotError
+from repro.common.errors import BrokerUnavailableError, PinotError
 from repro.common.metrics import MetricsRegistry
 from repro.kafka.cluster import KafkaCluster
 from repro.observability.trace import SpanCollector, TraceContext
@@ -102,10 +102,17 @@ class RealtimeIngestion:
                 continue
             if state.pending_backup is not None and state.pending_backup.done:
                 state.pending_backup = None
-            entries = self.kafka.fetch(
-                self.topic, state.partition, state.position,
-                max_records_per_partition,
-            )
+            try:
+                entries = self.kafka.fetch(
+                    self.topic, state.partition, state.position,
+                    max_records_per_partition,
+                )
+            except BrokerUnavailableError:
+                # Every replica of the source partition is down.  Hold
+                # position (no data is skipped) and resume next round once
+                # a broker restart restores a leader.
+                self.metrics.counter("unavailable_polls").inc()
+                continue
             for entry in entries:
                 row = dict(entry.record.value)
                 self.config.schema.validate(row)
@@ -175,12 +182,18 @@ class RealtimeIngestion:
     # -- introspection -----------------------------------------------------------
 
     def lag(self) -> int:
-        """Rows in Kafka not yet queryable (the freshness proxy)."""
+        """Rows in Kafka not yet queryable (the freshness proxy).
+
+        A partition with no live leader contributes its last known lag of
+        zero — its true lag is unknowable until a broker returns.
+        """
         total = 0
         for state in self.partitions.values():
-            total += (
-                self.kafka.end_offset(self.topic, state.partition) - state.position
-            )
+            try:
+                end = self.kafka.end_offset(self.topic, state.partition)
+            except BrokerUnavailableError:
+                continue
+            total += end - state.position
         return total
 
     def total_rows_ingested(self) -> int:

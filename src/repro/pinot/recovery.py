@@ -13,11 +13,17 @@ replica peers, falling back to the store only when no peer has the data.
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Any, Protocol
 
-from repro.common.errors import StorageError, StorageUnavailableError
+from repro.common.errors import (
+    RetryExhaustedError,
+    StorageError,
+    StorageUnavailableError,
+)
+from repro.common.retry import RetryPolicy
 from repro.pinot.segment import ImmutableSegment
 from repro.storage.blobstore import BlobStore
 
@@ -47,6 +53,34 @@ def _store_key(table: str, segment_name: str) -> str:
     return f"pinot-segments/{table}/{segment_name}"
 
 
+def _put_with_policy(
+    store: BlobStore,
+    key: str,
+    data: bytes,
+    policy: RetryPolicy | None,
+    clock: Any,
+    rng: random.Random | None,
+) -> None:
+    """Upload one blob, retrying transient store outages under ``policy``.
+
+    With no policy this is a single attempt (the queue is the retry: an
+    outage re-queues the segment for the next ``run_step``).  Raises
+    :class:`StorageUnavailableError` when the outage outlasts the policy.
+    """
+    if policy is None:
+        store.put(key, data)
+        return
+    try:
+        policy.call(
+            lambda: store.put(key, data),
+            retry_on=(StorageUnavailableError,),
+            clock=clock,
+            rng=rng,
+        )
+    except RetryExhaustedError as exc:
+        raise StorageUnavailableError(str(exc.__cause__)) from exc
+
+
 @dataclass
 class CentralizedBackup:
     """Synchronous backup through the single controller."""
@@ -54,6 +88,9 @@ class CentralizedBackup:
     store: BlobStore
     uploads_per_step: int = 1
     blocking: bool = True
+    retry_policy: RetryPolicy | None = None
+    clock: Any = None
+    rng: random.Random | None = None
     _queue: deque = field(default_factory=deque)  # (table, segment, handle)
     uploaded: int = 0
 
@@ -69,7 +106,14 @@ class CentralizedBackup:
         for __ in range(min(self.uploads_per_step, len(self._queue))):
             table, segment, handle = self._queue[0]
             try:
-                self.store.put(_store_key(table, segment.name), segment.to_bytes())
+                _put_with_policy(
+                    self.store,
+                    _store_key(table, segment.name),
+                    segment.to_bytes(),
+                    self.retry_policy,
+                    self.clock,
+                    self.rng,
+                )
             except StorageUnavailableError:
                 return completed
             self._queue.popleft()
@@ -94,6 +138,9 @@ class PeerToPeerBackup:
     store: BlobStore
     uploads_per_step: int = 1
     blocking: bool = False
+    retry_policy: RetryPolicy | None = None
+    clock: Any = None
+    rng: random.Random | None = None
     _queue: deque = field(default_factory=deque)
     uploaded: int = 0
 
@@ -108,7 +155,14 @@ class PeerToPeerBackup:
         for __ in range(min(self.uploads_per_step, len(self._queue))):
             table, segment = self._queue[0]
             try:
-                self.store.put(_store_key(table, segment.name), segment.to_bytes())
+                _put_with_policy(
+                    self.store,
+                    _store_key(table, segment.name),
+                    segment.to_bytes(),
+                    self.retry_policy,
+                    self.clock,
+                    self.rng,
+                )
             except StorageUnavailableError:
                 # Try again later; nothing is blocked meanwhile.
                 return completed
@@ -131,17 +185,29 @@ def recover_segment_p2p(
     table: str,
     peers: list,
     strategy: SegmentBackupStrategy,
+    retry_policy: RetryPolicy | None = None,
+    clock: Any = None,
+    rng: random.Random | None = None,
 ) -> ImmutableSegment:
     """Fetch a segment for a recovering server: live peers first, then the
-    archival store."""
+    archival store.  The store fallback optionally retries transient
+    outages under ``retry_policy`` (backoff charged to ``clock``) before
+    declaring the segment unrecoverable."""
     for peer in peers:
         if peer.alive and peer.has_segment(segment_name):
             hosted = peer.segments[segment_name]
             if isinstance(hosted, ImmutableSegment):
                 return hosted
     try:
-        return strategy.fetch(table, segment_name)
-    except StorageError as exc:
+        if retry_policy is None:
+            return strategy.fetch(table, segment_name)
+        return retry_policy.call(
+            lambda: strategy.fetch(table, segment_name),
+            retry_on=(StorageUnavailableError,),
+            clock=clock,
+            rng=rng,
+        )
+    except (StorageError, RetryExhaustedError) as exc:
         raise StorageError(
             f"segment {segment_name!r} unrecoverable: no live peer and "
             f"store fetch failed ({exc})"

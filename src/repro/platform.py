@@ -64,6 +64,7 @@ class Platform:
         tracing: bool = True,
     ) -> None:
         self.name = name
+        self.seed = seed
         self.clock = SimulatedClock(start_time)
         self.rng = random.Random(seed)
         self.metrics = MetricsRegistry(name)
@@ -265,6 +266,20 @@ class Platform:
             for state in self.pinot.tables.values():
                 state.ingestion.run_step()
             self.pinot.backup.run_step()
+
+    # -- chaos --------------------------------------------------------------
+
+    def chaos(self, seed: int | None = None) -> "ChaosHarness":
+        """A seeded fault scheduler over this platform's components.
+
+        Defaults to the platform seed, so ``Platform(seed=7).chaos()``
+        replays byte-identically; pass ``seed`` to explore a different
+        fault schedule on the same pipeline.  See
+        :class:`repro.chaos.harness.ChaosHarness`.
+        """
+        from repro.chaos.harness import ChaosHarness
+
+        return ChaosHarness(self, seed=seed)
 
     # -- observability ------------------------------------------------------
 

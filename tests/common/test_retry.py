@@ -1,0 +1,128 @@
+"""RetryPolicy: attempt counting, backoff, clock charging, determinism."""
+
+import random
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import RetryExhaustedError
+from repro.common.retry import RetryPolicy, immediate
+
+
+class Flaky:
+    """Fails the first ``failures`` calls, then returns ``value``."""
+
+    def __init__(self, failures: int, value: str = "ok") -> None:
+        self.failures = failures
+        self.value = value
+        self.calls = 0
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise ValueError(f"boom {self.calls}")
+        return self.value
+
+
+class TestAttemptCounting:
+    def test_max_attempts_is_total_attempts(self):
+        """The off-by-one contract: an exhausted call made exactly
+        max_attempts calls, not 1 + max_attempts."""
+        fn = Flaky(failures=100)
+        with pytest.raises(RetryExhaustedError):
+            immediate(3).call(fn)
+        assert fn.calls == 3
+
+    def test_success_on_last_attempt(self):
+        fn = Flaky(failures=2)
+        assert immediate(3).call(fn) == "ok"
+        assert fn.calls == 3
+
+    def test_first_try_success_makes_one_call(self):
+        fn = Flaky(failures=0)
+        assert immediate(5).call(fn) == "ok"
+        assert fn.calls == 1
+
+    def test_exhaustion_chains_last_failure(self):
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            immediate(2).call(Flaky(failures=9))
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        assert "boom 2" in str(excinfo.value.__cause__)
+
+    def test_non_matching_exception_propagates_immediately(self):
+        fn = Flaky(failures=5)
+        with pytest.raises(ValueError):
+            immediate(3).call(fn, retry_on=(KeyError,))
+        assert fn.calls == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestBackoff:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=5.0,
+                             jitter=0.0)
+        assert [policy.backoff(n) for n in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 5.0]
+
+    def test_jitter_is_bounded_and_seeded(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.5)
+        delays = [policy.backoff(1, random.Random(42)) for __ in range(50)]
+        assert all(0.5 <= d <= 1.5 for d in delays)
+        replay = [policy.backoff(1, random.Random(42)) for __ in range(50)]
+        assert delays == replay  # same seed, same jitter stream
+
+    def test_backoff_charged_to_simulated_clock(self):
+        clock = SimulatedClock()
+        policy = RetryPolicy(max_attempts=3, base_delay=1.0, jitter=0.0)
+        with pytest.raises(RetryExhaustedError):
+            policy.call(Flaky(failures=9), clock=clock)
+        assert clock.now() == pytest.approx(3.0)  # 1 + 2, then give up
+
+    def test_repair_timer_fires_during_backoff(self):
+        """The property everything downstream relies on: a scheduled repair
+        (e.g. a broker restart) lands inside the backoff window and the
+        retry then succeeds."""
+        clock = SimulatedClock()
+        broken = True
+
+        def repair() -> None:
+            nonlocal broken
+            broken = False
+
+        clock.call_at(1.5, repair)
+
+        def fn() -> str:
+            if broken:
+                raise ValueError("still down")
+            return "recovered"
+
+        policy = RetryPolicy(max_attempts=5, base_delay=1.0, jitter=0.0)
+        assert policy.call(fn, clock=clock) == "recovered"
+
+    def test_timeout_budget_stops_early(self):
+        clock = SimulatedClock()
+        policy = RetryPolicy(
+            max_attempts=100, base_delay=10.0, multiplier=1.0, max_delay=10.0,
+            jitter=0.0, timeout=25.0,
+        )
+        fn = Flaky(failures=1000)
+        with pytest.raises(RetryExhaustedError):
+            policy.call(fn, clock=clock)
+        assert fn.calls == 3  # t=0, 10, 20; next would exceed 25s budget
+        assert clock.now() <= 25.0
+
+    def test_on_retry_hook_sees_each_failure(self):
+        seen = []
+        policy = immediate(3)
+        with pytest.raises(RetryExhaustedError):
+            policy.call(
+                Flaky(failures=9),
+                on_retry=lambda attempt, exc, delay: seen.append(attempt),
+            )
+        assert seen == [1, 2]  # no hook after the final attempt

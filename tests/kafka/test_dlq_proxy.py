@@ -1,10 +1,18 @@
 import pytest
 
 from repro.common.clock import SimulatedClock
+from repro.common.errors import KafkaError
 from repro.kafka.cluster import KafkaCluster, TopicConfig
 from repro.kafka.consumer import Consumer, GroupCoordinator
-from repro.kafka.dlq import DlqConsumer, FailurePolicy
-from repro.kafka.producer import Producer
+from repro.kafka.dlq import (
+    DLQ_ATTEMPTS,
+    DLQ_SOURCE_OFFSET,
+    DLQ_SOURCE_PARTITION,
+    DLQ_SOURCE_TOPIC,
+    DlqConsumer,
+    FailurePolicy,
+)
+from repro.kafka.producer import Producer, hash_partitioner
 from repro.kafka.proxy import (
     ConsumerProxy,
     UniformEndpoint,
@@ -83,6 +91,81 @@ class TestDlq:
         assert dlq.purge_dead_letters() == 1
         assert dlq.merge_dead_letters() == 0
 
+    def test_total_attempts_equal_max_retries(self):
+        """Regression for the off-by-one: a poison record is attempted
+        exactly ``max_retries`` times in total, not 1 + max_retries."""
+        __, cluster = setup_topic(partitions=1, count=1, poison=lambda i: True)
+        attempts = []
+
+        def poison_handler(message):
+            attempts.append(message.offset)
+            raise RuntimeError("cannot process")
+
+        coordinator = GroupCoordinator(cluster)
+        consumer = Consumer(cluster, coordinator, "g", "t", "m0")
+        dlq = DlqConsumer(
+            cluster, consumer, poison_handler, FailurePolicy.DLQ, max_retries=3
+        )
+        dlq.process_batch(10)
+        assert len(attempts) == 3
+        assert dlq.stats.failed_attempts == 3
+        assert dlq.stats.dead_lettered == 1
+
+    def test_max_retries_validated(self):
+        __, cluster = setup_topic()
+        coordinator = GroupCoordinator(cluster)
+        consumer = Consumer(cluster, coordinator, "g", "t", "m0")
+        with pytest.raises(KafkaError):
+            DlqConsumer(
+                cluster, consumer, failing_handler, FailurePolicy.DLQ,
+                max_retries=0,
+            )
+
+    def test_dead_letter_lands_on_source_partition_with_provenance(self):
+        """Dead letters mirror the source partition layout and carry
+        merge-back provenance, instead of all piling onto partition 0."""
+        __, cluster = setup_topic()
+        dlq = self._consumer(cluster, FailurePolicy.DLQ)
+        for __ in range(20):
+            dlq.process_batch(1000)
+        assert cluster.partition_count(dlq.dlq_topic) == 4
+        [dead] = dlq.dead_letters()
+        source_partition = hash_partitioner("k7", 4)  # poison record's key
+        assert dead.partition == source_partition
+        headers = dead.entry.record.headers
+        assert headers[DLQ_SOURCE_TOPIC] == "t"
+        assert headers[DLQ_SOURCE_PARTITION] == source_partition
+        assert headers[DLQ_ATTEMPTS] == 2
+        entry = cluster.fetch("t", source_partition, headers[DLQ_SOURCE_OFFSET], 1)[0]
+        assert entry.record.value == dead.entry.record.value
+
+    def test_merge_back_reprocesses_through_original_handler(self):
+        """The full Section 4.1.4 loop: fail -> DLQ -> merge back to the
+        source partition (headers stripped) -> reprocessed -> fails again
+        -> re-enters the DLQ cleanly."""
+        __, cluster = setup_topic()
+        dlq = self._consumer(cluster, FailurePolicy.DLQ)
+        for __ in range(20):
+            dlq.process_batch(1000)
+        source_partition = hash_partitioner("k7", 4)
+        end_before = cluster.end_offset("t", source_partition)
+        assert dlq.merge_dead_letters() == 1
+        # Merged record went back to its own partition, provenance removed.
+        [merged] = cluster.fetch("t", source_partition, end_before, 10)
+        assert merged.record.value["poison"] is True
+        assert DLQ_SOURCE_TOPIC not in merged.record.headers
+        # The live consumer picks it up, it fails again, and dead-letters
+        # again — with fresh provenance pointing at the merged position.
+        for __ in range(20):
+            dlq.process_batch(1000)
+        assert dlq.stats.dead_lettered == 2
+        dead = dlq.dead_letters()
+        assert len(dead) == 2
+        assert dead[-1].entry.record.headers[DLQ_SOURCE_OFFSET] == end_before
+        # Nothing new to merge twice: positions advanced.
+        assert dlq.purge_dead_letters() == 1
+        assert dlq.merge_dead_letters() == 0
+
     def test_retries_eventually_succeed(self):
         __, cluster = setup_topic(poison=lambda i: False)
         attempts = {}
@@ -138,7 +221,19 @@ class TestConsumerProxy:
         report = proxy.drain()
         assert report.delivered == 49
         assert report.dead_lettered == 1
-        assert cluster.end_offset(proxy.dlq_topic, 0) == 1
+        # The dead letter sits on the source record's partition (not a
+        # hardcoded partition 0) and carries merge-back provenance.
+        source_partition = hash_partitioner("k7", 4)
+        per_partition = [
+            cluster.end_offset(proxy.dlq_topic, p)
+            for p in range(cluster.partition_count(proxy.dlq_topic))
+        ]
+        assert sum(per_partition) == 1
+        assert per_partition[source_partition] == 1
+        [entry] = cluster.fetch(proxy.dlq_topic, source_partition, 0, 10)
+        assert entry.record.headers[DLQ_SOURCE_TOPIC] == "t"
+        assert entry.record.headers[DLQ_SOURCE_PARTITION] == source_partition
+        assert entry.record.headers[DLQ_ATTEMPTS] == 2
 
     def test_drain_advances_simulated_clock(self):
         clock, cluster = setup_topic(partitions=2, count=20, poison=lambda i: False)

@@ -198,3 +198,99 @@ class TestCluster:
         new_id = cluster.add_broker()
         assert new_id in cluster.brokers
         assert cluster.num_brokers == 4
+
+
+class TestRestartDivergence:
+    """Regressions for the restart_broker hardening: common-prefix
+    truncation (not min-length) and re-election on the no-live-leader
+    path."""
+
+    def _two_broker_cluster(self):
+        clock = SimulatedClock()
+        cluster = KafkaCluster("c", 2, clock=clock)
+        cluster.create_topic(
+            "t", TopicConfig(partitions=1, replication_factor=2)
+        )
+        return cluster
+
+    def test_common_prefix_end_detects_divergence_past_shared_prefix(self):
+        a, b = PartitionLog(), PartitionLog()
+        a.append(rec(0), 0.0)
+        b.append(rec(0), 0.0)
+        a.append(rec(1), 0.0)
+        b.append(rec(2), 0.0)
+        a.append(rec(3), 0.0)  # a longer AND diverged from offset 1
+        assert a.common_prefix_end(b) == 1
+        assert b.common_prefix_end(a) == 1
+
+    def test_common_prefix_end_without_divergence_is_min_end(self):
+        a, b = PartitionLog(), PartitionLog()
+        for i in range(5):
+            a.append(rec(i), 0.0)
+            if i < 3:
+                b.append(rec(i), 0.0)
+        assert a.common_prefix_end(b) == 3
+        assert b.common_prefix_end(a) == 3
+
+    def test_later_restarted_preferred_replica_with_longer_log_converges(self):
+        """The silent-divergence scenario: preferred leader A appends more
+        unreplicated entries than the interim leader B ever writes, both
+        die, B restarts first, then A.  A's log is LONGER than the
+        leader's, so the old min-length truncation kept A's diverged
+        entries; common-prefix truncation discards them and resyncs."""
+        cluster = self._two_broker_cluster()
+        pstate = cluster.topics["t"].partitions[0]
+        a, b = pstate.replica_brokers  # a is the preferred leader
+        assert pstate.leader == a
+        cluster.append("t", 0, rec(0), acks="1")
+        cluster.replicate()  # shared prefix: [0]
+        cluster.append("t", 0, rec(1), acks="1")  # a-only
+        cluster.append("t", 0, rec(2), acks="1")  # a-only; a holds [0,1,2]
+        cluster.kill_broker(a)
+        assert pstate.leader == b  # b holds [0]
+        cluster.append("t", 0, rec(3), acks="1")  # b holds [0,3]
+        cluster.kill_broker(b)
+        cluster.restart_broker(b)  # b leads again with [0,3]
+        cluster.restart_broker(a)  # a rejoins with the longer diverged [0,1,2]
+        a_values = [
+            e.record.value["i"]
+            for e in cluster.brokers[a].replicas[("t", 0)].read(0, 10)
+        ]
+        b_values = [
+            e.record.value["i"]
+            for e in cluster.brokers[b].replicas[("t", 0)].read(0, 10)
+        ]
+        assert a_values == b_values == [0, 3]
+
+    def test_restart_reelects_when_stale_leader_is_still_dead(self):
+        """Restarting a non-preferred replica while the recorded leader is
+        down must re-elect (preference order over live brokers), not leave
+        the partition unreadable."""
+        cluster = self._two_broker_cluster()
+        pstate = cluster.topics["t"].partitions[0]
+        a, b = pstate.replica_brokers
+        cluster.append("t", 0, rec(0), acks="1")
+        cluster.replicate()
+        cluster.kill_broker(b)  # a still leads
+        cluster.kill_broker(a)  # nobody alive; stale pointer keeps a
+        assert pstate.leader == a
+        cluster.restart_broker(b)
+        assert pstate.leader == b
+        assert cluster.end_offset("t", 0) == 1
+        [entry] = cluster.fetch("t", 0, 0)
+        assert entry.record.value == {"i": 0}
+
+    def test_replication_pause_widens_acks1_loss_window(self):
+        cluster = self._two_broker_cluster()
+        pstate = cluster.topics["t"].partitions[0]
+        leader = pstate.leader
+        cluster.append("t", 0, rec(0), acks="1")
+        cluster.replicate()
+        cluster.pause_replication()
+        cluster.append("t", 0, rec(1), acks="1")
+        assert cluster.replicate() == 0  # paused: follower stays behind
+        cluster.kill_broker(leader)
+        assert cluster.end_offset("t", 0) == 1  # rec(1) lost as predicted
+        cluster.resume_replication()
+        cluster.restart_broker(leader)
+        assert cluster.end_offset("t", 0) == 1

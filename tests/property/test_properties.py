@@ -201,3 +201,114 @@ class TestClockProperties:
         clock.advance(101.0)
         assert len(fired) == len(delays)
         assert fired == sorted(fired)
+
+
+# -- broker chaos properties ---------------------------------------------------
+
+_chaos_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("produce"), st.integers(min_value=0, max_value=1)),
+        st.tuples(st.just("kill"), st.integers(min_value=0, max_value=2)),
+        st.tuples(st.just("restart"), st.integers(min_value=0, max_value=2)),
+        st.tuples(st.just("replicate"), st.just(0)),
+    ),
+    max_size=40,
+)
+
+
+class TestBrokerChaosProperties:
+    """Seeded random kill/restart schedules against the acks contracts
+    documented in repro.kafka.cluster."""
+
+    @given(_chaos_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_acks_all_never_loses_acked_records(self, ops):
+        """Whatever the failure schedule, every record the cluster ACKED
+        under acks=all is still present (same offset, same audit uid) once
+        all brokers are back.  Un-acked produces may fail loudly
+        (NotEnoughReplicas/BrokerUnavailable) — that is the contract."""
+        from repro.common.errors import (
+            BrokerUnavailableError,
+            NotEnoughReplicasError,
+        )
+        from repro.common.records import stamp_audit_headers
+        from repro.kafka.cluster import KafkaCluster, TopicConfig
+
+        cluster = KafkaCluster("c", 3, clock=SimulatedClock())
+        cluster.create_topic(
+            "t", TopicConfig(partitions=2, replication_factor=2)
+        )
+        acked = []  # (partition, offset, uid)
+        sequence = 0
+        for op, arg in ops:
+            if op == "produce":
+                record = stamp_audit_headers(
+                    Record(f"k{sequence}", {"i": sequence}, 0.0), "svc", "std"
+                )
+                sequence += 1
+                try:
+                    offset = cluster.append("t", arg, record, acks="all")
+                except (NotEnoughReplicasError, BrokerUnavailableError):
+                    continue
+                acked.append((arg, offset, record.headers["uid"]))
+            elif op == "kill":
+                if cluster.brokers[arg].alive:
+                    cluster.kill_broker(arg)
+            elif op == "restart":
+                if not cluster.brokers[arg].alive:
+                    cluster.restart_broker(arg)
+            else:
+                cluster.replicate()
+        for broker_id in sorted(cluster.brokers):
+            if not cluster.brokers[broker_id].alive:
+                cluster.restart_broker(broker_id)
+        cluster.replicate()
+        for partition, offset, uid in acked:
+            [entry] = cluster.fetch("t", partition, offset, 1)
+            assert entry.offset == offset
+            assert entry.record.headers["uid"] == uid
+
+    @given(st.lists(
+        st.sampled_from(["produce", "replicate", "failover"]),
+        max_size=40,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_acks1_loss_matches_truncation_prediction(self, ops):
+        """Under acks=1 the docstring predicts exactly which records a
+        leader failover loses: those the dead leader had not yet
+        replicated.  The surviving log must equal the predicted survivor
+        list — nothing more (silent divergence) and nothing less."""
+        from repro.common.records import stamp_audit_headers
+        from repro.kafka.cluster import KafkaCluster, TopicConfig
+
+        cluster = KafkaCluster("c", 2, clock=SimulatedClock())
+        cluster.create_topic(
+            "t", TopicConfig(partitions=1, replication_factor=2)
+        )
+        pstate = cluster.topics["t"].partitions[0]
+        durable: list[str] = []  # uids on both replicas
+        pending: list[str] = []  # uids on the current leader only
+        sequence = 0
+        for op in ops:
+            if op == "produce":
+                record = stamp_audit_headers(
+                    Record(f"k{sequence}", {"i": sequence}, 0.0), "svc", "std"
+                )
+                sequence += 1
+                cluster.append("t", 0, record, acks="1")
+                pending.append(record.headers["uid"])
+            elif op == "replicate":
+                cluster.replicate()
+                durable.extend(pending)
+                pending = []
+            else:  # failover: leader dies, peer takes over, leader rejoins
+                dead = pstate.leader
+                cluster.kill_broker(dead)
+                pending = []  # the docstring's predicted loss
+                cluster.restart_broker(dead)  # truncate + resync as follower
+        cluster.replicate()
+        survivors = [
+            entry.record.headers["uid"]
+            for entry in cluster.fetch("t", 0, 0, 1000)
+        ]
+        assert survivors == durable + pending
