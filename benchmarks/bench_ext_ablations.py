@@ -11,7 +11,6 @@
 
 from __future__ import annotations
 
-from repro.common.rng import seeded_rng
 from repro.flink.graph import StreamEnvironment
 from repro.flink.runtime import JobRuntime
 from repro.flink.windows import CountAggregate, TumblingWindows

@@ -13,7 +13,7 @@ time with vs without standby elasticity; and an injected-loss audit.
 from __future__ import annotations
 
 from repro.kafka.chaperone import Chaperone
-from repro.kafka.cluster import KafkaCluster, TopicConfig
+from repro.kafka.cluster import KafkaCluster
 from repro.kafka.producer import Producer
 from repro.kafka.ureplicator import UReplicator
 

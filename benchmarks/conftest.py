@@ -22,9 +22,16 @@ from repro.storage.blobstore import BlobStore
 
 
 def print_table(title: str, header: list[str], rows: list[list]) -> None:
-    """Print one reproduced table in the paper's row/series format."""
-    cells = [header] + [[_fmt(c) for c in row] for row in rows]
-    widths = [max(len(row[i]) for row in cells) for i in range(len(header))]
+    """Print one reproduced table in the paper's row/series format.
+
+    Ragged rows are tolerated: short rows are padded with empty cells and
+    rows longer than the header get extra (unnamed) columns, so a bench
+    that emits an incomplete row still prints instead of crashing.
+    """
+    cells = [[str(c) for c in header]] + [[_fmt(c) for c in row] for row in rows]
+    ncols = max(len(row) for row in cells)
+    cells = [row + [""] * (ncols - len(row)) for row in cells]
+    widths = [max(len(row[i]) for row in cells) for i in range(ncols)]
     print(f"\n== {title} ==")
     for index, row in enumerate(cells):
         print("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))

@@ -84,7 +84,7 @@ def main() -> None:
         f"(demand {current['demand']}, supply {current['supply']})"
     )
     print(
-        f"update services: "
+        "update services: "
         + ", ".join(
             f"{name}: published={svc.published}, suppressed={svc.suppressed}"
             for name, svc in surge.update_services.items()

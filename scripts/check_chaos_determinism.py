@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""CI determinism gate: the chaos e2e scenario must reproduce exactly.
+
+Runs the full multi-layer fault scenario twice with the same seed and
+byte-diffs the two rendered RecoveryReports (fault timeline + invariant
+results).  Any divergence — ordering, counts, formatting — fails the job,
+because the whole debugging story of the simulation rests on same seed ->
+same run.
+
+Exit codes: 0 identical, 1 diverged.
+"""
+
+from __future__ import annotations
+
+import difflib
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+
+def run_once(seed: int) -> str:
+    from tests.chaos.test_chaos_e2e import run_scenario
+
+    __, chaos, __ = run_scenario(seed=seed)
+    return chaos.report().render()
+
+
+def main(seed: int = 2021) -> int:
+    first = run_once(seed)
+    second = run_once(seed)
+    if first == second:
+        print(f"chaos scenario (seed={seed}): two runs byte-identical "
+              f"({len(first)} report bytes)")
+        print(first)
+        return 0
+    print(f"chaos scenario (seed={seed}): runs DIVERGED", file=sys.stderr)
+    diff = difflib.unified_diff(
+        first.splitlines(), second.splitlines(),
+        fromfile="run-1", tofile="run-2", lineterm="",
+    )
+    for line in diff:
+        print(line, file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2021
+    sys.exit(main(seed))

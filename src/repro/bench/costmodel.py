@@ -1,0 +1,75 @@
+"""The fixed cost model turning perf counters into deterministic time.
+
+Wall-clock throughput depends on the machine, the Python build and the
+phase of the CPU governor; a CI gate built on it either flakes or needs a
+uselessly wide threshold.  Instead the harness converts the *counted*
+hot-path operations (:mod:`repro.common.perf`) into virtual microseconds
+through this table: each counter name has a fixed per-operation cost,
+roughly calibrated against CPython wall measurements on the seed
+hardware (see EXPERIMENTS.md).  Two runs of the same seeded workload
+count the same ops, so virtual time — and every metric derived from it —
+is byte-identical across runs and machines.
+
+The absolute weights matter less than their *stability*: a change that
+doubles the per-record work on a hot path doubles its counted ops no
+matter what the weights are.  Weights only shape how ops on different
+paths trade off inside one scenario.
+
+``COST_MODEL_VERSION`` is embedded in every report; comparisons across
+different versions are rejected, so re-weighting forces baselines to be
+regenerated rather than silently shifting the gate.
+"""
+
+from __future__ import annotations
+
+COST_MODEL_VERSION = 1
+
+#: Virtual microseconds charged per counted operation.
+COST_US: dict[str, float] = {
+    # -- kafka ---------------------------------------------------------------
+    "kafka.partition_resolutions": 1.2,  # pstate + leader/follower lookup
+    "kafka.entry_allocs": 0.4,  # LogEntry construction
+    "kafka.size_encodings": 3.0,  # serde encode for byte accounting
+    "kafka.send_encodings": 2.5,  # legacy: producer value sizing (pre single-encode)
+    "kafka.key_hashes": 2.0,  # FNV-1a over the serialized key
+    "kafka.fetch_calls": 1.0,
+    "kafka.records_fetched": 0.15,  # per entry returned (list slice share)
+    # -- pinot ---------------------------------------------------------------
+    "pinot.rows_ingested": 1.5,  # schema validate + consuming append
+    "pinot.cell_reads": 0.8,  # random-access bit-unpack + dict lookup
+    "pinot.cells_decoded": 0.15,  # bulk forward-index decode, per cell
+    "pinot.code_filter_evals": 0.1,  # integer compare in code space
+    "pinot.row_allocs": 1.0,  # per-row dict materialization
+    "pinot.filter_evals": 0.5,  # Python-level predicate call
+    "pinot.tree_build_rows": 0.5,  # star-tree node aggregation, per doc
+    "pinot.tree_nodes": 0.5,
+    "pinot.tree_docs": 0.5,  # star-tree leaf raw-doc scan
+    # -- flink ---------------------------------------------------------------
+    "flink.elements": 0.5,  # scheduler dequeue + dispatch
+    "flink.batch_elements": 0.2,  # micro-batched dequeue + dispatch
+    "flink.route_resolutions": 0.8,  # legacy: per-record downstream graph lookup
+    "flink.cached_routes": 0.2,  # routing via pre-resolved channel wiring
+    "flink.channel_pushes": 0.15,
+    "flink.space_channel_checks": 0.2,  # backpressure probe per channel
+}
+
+#: Counters not in the table still cost something.
+DEFAULT_COST_US = 0.5
+
+#: Alloc counters (summed into the report's ``allocs`` field) end with this.
+ALLOC_SUFFIX = "_allocs"
+
+
+def virtual_us(counts: dict[str, int]) -> float:
+    """Weighted total of counted ops, in virtual microseconds.
+
+    Summation order is fixed (sorted keys) so the float result is
+    bit-reproducible.
+    """
+    return sum(
+        counts[name] * COST_US.get(name, DEFAULT_COST_US) for name in sorted(counts)
+    )
+
+
+def alloc_count(counts: dict[str, int]) -> int:
+    return sum(n for name, n in counts.items() if name.endswith(ALLOC_SUFFIX))

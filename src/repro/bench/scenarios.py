@@ -1,0 +1,364 @@
+"""Parameterized hot-path workloads for the perf harness.
+
+Four scenarios, one per hot layer of the stack:
+
+* ``kafka_produce_fetch`` — batched, keyed produce with ``acks=all``
+  (replica bookkeeping on the append path) followed by paged fetches of
+  everything back: the storage hot path.
+* ``flink_window`` — a keyed tumbling-window aggregation over a bounded
+  source, driven to quiescence: the stream-runtime hot path (channel
+  routing, backpressure probes, element dispatch), isolated from Kafka.
+* ``pinot_ingest_query`` — Kafka → realtime consuming segments → sealed
+  columnar segments, then a mixed query workload (inverted-index filter,
+  group-by aggregation, selection scan) through the broker: the OLAP
+  ingest and query-evaluation hot paths.
+* ``presto_scan`` — PrestoSQL over the Pinot connector at predicate-only
+  pushdown, so rows ship into the engine's row loop: the federated scan
+  hot path.
+
+Each scenario is a pure function of ``(params, seed)``: every workload
+value comes from :func:`repro.common.rng.seeded_rng` and time from a
+:class:`~repro.common.clock.SimulatedClock`, so the counted work — and
+therefore the whole deterministic report — reproduces exactly.  The
+``check`` value in the outcome digests the scenario's *results* (window
+sums, query answers), guarding against an "optimization" that changes
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.common.clock import SimulatedClock
+from repro.common.rng import seeded_rng
+
+PAD = "x" * 48
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """What a scenario reports back: size, span and a results digest."""
+
+    records: int
+    sim_s: float
+    check: int
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    name: str
+    fn: Callable[[dict, int, Any], Outcome]
+    full_params: dict
+    quick_params: dict
+    in_quick: bool = True
+
+
+def _digest(value: Any) -> int:
+    """Small deterministic checksum of a result structure."""
+    import hashlib
+
+    from repro.common import serde
+
+    return int.from_bytes(
+        hashlib.sha256(serde.encode(value)).digest()[:6], "big"
+    )
+
+
+# -- kafka ---------------------------------------------------------------------
+
+
+def kafka_produce_fetch(params: dict, seed: int, probe) -> Outcome:
+    from repro.kafka.cluster import KafkaCluster, TopicConfig
+    from repro.kafka.producer import Producer
+
+    n = params["records"]
+    clock = SimulatedClock()
+    cluster = KafkaCluster("bench", 3, clock=clock)
+    cluster.create_topic(
+        "events",
+        TopicConfig(partitions=params["partitions"], replication_factor=2),
+    )
+    producer = Producer(
+        cluster,
+        "bench",
+        acks=params["acks"],
+        batch_size=params["batch_bytes"],
+        clock=clock,
+    )
+    rng = seeded_rng(seed, "bench.kafka")
+    keys = [f"k{rng.randrange(params['keys'])}" for __ in range(n)]
+    for i in range(n):
+        clock.advance(0.001)
+        with probe.op():
+            producer.send("events", {"i": i, "pad": PAD}, key=keys[i])
+    with probe.op():
+        producer.flush()
+    cluster.replicate()
+    fetched = 0
+    checksum = 0
+    for partition in range(params["partitions"]):
+        offset = cluster.start_offset("events", partition)
+        end = cluster.end_offset("events", partition)
+        while offset < end:
+            with probe.op():
+                entries = cluster.fetch("events", partition, offset, 500)
+            offset = entries[-1].offset + 1
+            fetched += len(entries)
+            checksum += sum(e.record.value["i"] for e in entries)
+    return Outcome(records=n, sim_s=clock.now(), check=_digest([fetched, checksum]))
+
+
+# -- flink ---------------------------------------------------------------------
+
+
+def flink_window(params: dict, seed: int, probe) -> Outcome:
+    from repro.flink.graph import StreamEnvironment
+    from repro.flink.operators import BoundedListSource
+    from repro.flink.runtime import JobRuntime
+    from repro.flink.windows import SumAggregate, TumblingWindows
+
+    n = params["records"]
+    rng = seeded_rng(seed, "bench.flink")
+    elements = [
+        (
+            {"city": f"c{rng.randrange(params['keys'])}", "amount": float(rng.randrange(100))},
+            i * 0.01,
+        )
+        for i in range(n)
+    ]
+    clock = SimulatedClock()
+    env = StreamEnvironment()
+    out: list = []
+    env.add_source(
+        BoundedListSource(elements, batch_size=200), name="src",
+        parallelism=params["parallelism"],
+    ) \
+        .key_by(lambda v: v["city"]) \
+        .window(TumblingWindows(params["window_s"])) \
+        .aggregate(SumAggregate(lambda v: v["amount"])) \
+        .sink_to_list(out)
+    runtime = JobRuntime(env.build("bench-window"), clock=clock)
+    while True:
+        with probe.op():
+            processed = runtime.run_rounds(1, budget_per_task=500)
+        if processed == 0:
+            break
+    sums = sorted((r.key, r.window.start, r.value) for r in out)
+    return Outcome(records=n, sim_s=clock.now(), check=_digest(sums))
+
+
+# -- pinot ---------------------------------------------------------------------
+
+
+def _pinot_table(params: dict, seed: int, probe):
+    from repro.kafka.cluster import KafkaCluster, TopicConfig
+    from repro.kafka.producer import Producer
+    from repro.metadata.schema import Field, FieldRole, FieldType, Schema
+    from repro.pinot.broker import PinotBroker
+    from repro.pinot.controller import PinotController
+    from repro.pinot.recovery import PeerToPeerBackup
+    from repro.pinot.segment import IndexConfig
+    from repro.pinot.server import PinotServer
+    from repro.pinot.table import TableConfig
+    from repro.storage.blobstore import BlobStore
+
+    n = params["records"]
+    clock = SimulatedClock()
+    kafka = KafkaCluster("bench", 3, clock=clock)
+    kafka.create_topic("metrics", TopicConfig(partitions=4))
+    producer = Producer(kafka, "bench", clock=clock)
+    rng = seeded_rng(seed, "bench.pinot")
+    schema = Schema(
+        "metrics",
+        (
+            Field("city", FieldType.STRING),
+            Field("status", FieldType.STRING),
+            Field("amount", FieldType.DOUBLE, FieldRole.METRIC),
+            Field("ts", FieldType.DOUBLE, FieldRole.TIME),
+        ),
+    )
+    for __ in range(n):
+        clock.advance(0.001)
+        row = {
+            "city": f"city-{rng.randrange(params['keys'])}",
+            "status": rng.choice(["ok", "late", "cancelled"]),
+            "amount": float(rng.randrange(100)),
+            "ts": clock.now(),
+        }
+        producer.send("metrics", row, key=row["city"])
+    producer.flush()
+    controller = PinotController(
+        [PinotServer(f"s{i}") for i in range(3)],
+        PeerToPeerBackup(BlobStore()),
+    )
+    state = controller.create_realtime_table(
+        TableConfig(
+            "metrics",
+            schema,
+            time_column="ts",
+            index_config=IndexConfig(inverted=frozenset({"city"})),
+            segment_rows_threshold=params["segment_rows"],
+        ),
+        kafka,
+        "metrics",
+    )
+    while True:
+        with probe.op():
+            state.ingestion.run_step()
+        controller.backup.run_step()
+        if state.ingestion.lag() == 0 and not any(
+            s.blocked() for s in state.ingestion.partitions.values()
+        ):
+            break
+    return clock, PinotBroker(controller, clock=clock)
+
+
+def pinot_ingest_query(params: dict, seed: int, probe) -> Outcome:
+    from repro.pinot.query import Aggregation, Filter, PinotQuery
+
+    clock, broker = _pinot_table(params, seed, probe)
+    n = params["records"]
+    checks = []
+    queries = [
+        PinotQuery(
+            table="metrics",
+            aggregations=[Aggregation("COUNT"), Aggregation("SUM", "amount")],
+            filters=[Filter("city", "=", "city-3")],
+            group_by=["status"],
+        ),
+        PinotQuery(
+            table="metrics",
+            aggregations=[Aggregation("SUM", "amount")],
+            group_by=["city"],
+            limit=100,
+        ),
+        PinotQuery(
+            table="metrics",
+            select_columns=["city", "amount"],
+            filters=[Filter("amount", ">=", 95.0)],
+            limit=1_000_000,
+        ),
+    ]
+    for __ in range(params["query_rounds"]):
+        for query in queries:
+            with probe.op():
+                result = broker.execute(query)
+            checks.append(
+                sorted(
+                    tuple(sorted(row.items())) for row in result.rows
+                )
+            )
+    return Outcome(records=n, sim_s=clock.now(), check=_digest(checks))
+
+
+# -- presto --------------------------------------------------------------------
+
+
+def presto_scan(params: dict, seed: int, probe) -> Outcome:
+    from repro.sql.presto.connector import PinotConnector
+    from repro.sql.presto.engine import PrestoEngine
+
+    clock, broker = _pinot_table(params, seed, probe)
+    n = params["records"]
+    engine = PrestoEngine(
+        {"metrics": PinotConnector(broker, pushdown="predicate")}, clock=clock
+    )
+    sql = (
+        "SELECT city, COUNT(*) AS n, SUM(amount) AS total FROM metrics "
+        "WHERE status = 'ok' GROUP BY city ORDER BY total DESC LIMIT 10"
+    )
+    checks = []
+    for __ in range(params["query_rounds"]):
+        with probe.op():
+            out = engine.execute(sql)
+        checks.append([tuple(sorted(row.items())) for row in out.rows])
+    return Outcome(records=n, sim_s=clock.now(), check=_digest(checks))
+
+
+# -- registry --------------------------------------------------------------------
+
+
+SCENARIOS: tuple[ScenarioSpec, ...] = (
+    ScenarioSpec(
+        name="kafka_produce_fetch",
+        fn=kafka_produce_fetch,
+        full_params={
+            "records": 20_000,
+            "partitions": 4,
+            "keys": 256,
+            "acks": "all",
+            "batch_bytes": 16_384,
+        },
+        quick_params={
+            "records": 5_000,
+            "partitions": 4,
+            "keys": 256,
+            "acks": "all",
+            "batch_bytes": 16_384,
+        },
+    ),
+    ScenarioSpec(
+        name="flink_window",
+        fn=flink_window,
+        full_params={
+            "records": 12_000,
+            "keys": 64,
+            "window_s": 5.0,
+            "parallelism": 2,
+        },
+        quick_params={
+            "records": 3_000,
+            "keys": 64,
+            "window_s": 5.0,
+            "parallelism": 2,
+        },
+    ),
+    ScenarioSpec(
+        name="pinot_ingest_query",
+        fn=pinot_ingest_query,
+        # query_rounds is identical in both modes (per-round query cost
+        # scales with the row count), and segment_rows scales with records
+        # (same segment count, same sealed/consuming mix), so the
+        # per-record virtual cost — and therefore rps — is mode-invariant,
+        # letting CI's --quick run gate against the committed full baseline.
+        full_params={
+            "records": 12_000,
+            "keys": 20,
+            "segment_rows": 1_000,
+            "query_rounds": 4,
+        },
+        quick_params={
+            "records": 3_000,
+            "keys": 20,
+            "segment_rows": 250,
+            "query_rounds": 4,
+        },
+    ),
+    ScenarioSpec(
+        name="presto_scan",
+        fn=presto_scan,
+        # query_rounds and the records:segment_rows ratio are fixed across
+        # modes for the same reason as pinot.
+        full_params={
+            "records": 8_000,
+            "keys": 20,
+            "segment_rows": 1_000,
+            "query_rounds": 4,
+        },
+        quick_params={
+            "records": 2_000,
+            "keys": 20,
+            "segment_rows": 250,
+            "query_rounds": 4,
+        },
+    ),
+)
+
+
+def scenario_names() -> list[str]:
+    return [spec.name for spec in SCENARIOS]
+
+
+def quick_scenario_names() -> list[str]:
+    return [spec.name for spec in SCENARIOS if spec.in_quick]

@@ -21,6 +21,20 @@ def next_uid(prefix: str = "evt") -> str:
     return f"{prefix}-{next(_uid_counter)}"
 
 
+def reset_uid_counter(start: int = 1) -> None:
+    """Restart uid assignment at ``start``.
+
+    The uid rides in the record headers, so its *string length* feeds the
+    encoded record size and therefore producer batch boundaries.  Seeded
+    workloads that must reproduce byte-for-byte within one process (the
+    perf harness) reset the counter before each run; independent
+    pipelines never compare uids across runs, so collisions between
+    resets are harmless.
+    """
+    global _uid_counter
+    _uid_counter = itertools.count(start)
+
+
 @dataclass(frozen=True, slots=True)
 class Record:
     """An immutable event.

@@ -44,6 +44,20 @@ class Operator:
     def process(self, record: StreamRecord, input_index: int = 0) -> list[Any]:
         raise NotImplementedError
 
+    def process_batch(
+        self, records: list[StreamRecord], input_index: int = 0
+    ) -> list[Any]:
+        """Process a micro-batched run of records in one call.
+
+        The default loops :meth:`process` and concatenates the outputs —
+        semantically identical to stepping the records one at a time.
+        Operators with per-call overhead worth amortizing can override.
+        """
+        out: list[Any] = []
+        for record in records:
+            out.extend(self.process(record, input_index))
+        return out
+
     def on_watermark(self, watermark: Watermark) -> list[Any]:
         return []
 

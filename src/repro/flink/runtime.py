@@ -27,6 +27,7 @@ from repro.common import serde
 from repro.common.clock import Clock, SystemClock
 from repro.common.errors import CheckpointError, FlinkError
 from repro.common.metrics import MetricsRegistry
+from repro.common.perf import PERF
 from repro.kafka.producer import hash_partitioner
 from repro.flink.graph import Edge, JobGraph, OperatorSpec, validate_graph
 from repro.flink.operators import build_operator
@@ -34,6 +35,11 @@ from repro.flink.time import CheckpointBarrier, StreamRecord, StreamStatus, Wate
 from repro.observability.trace import SpanCollector
 
 DEFAULT_CHANNEL_CAPACITY = 1000
+
+#: Longest run of data records drained from one channel under a single
+#: backpressure probe.  Bounds channel overshoot to one micro-batch's
+#: worth of emissions past capacity.
+MICRO_BATCH = 32
 
 
 @dataclass
@@ -75,6 +81,10 @@ class SubTask:
         self.completed_checkpoints: set[int] = set()
         self._out_watermark = float("-inf")
         self._rebalance_cursor = 0
+        # Cached output wiring, built lazily on first emit/space probe:
+        # (edge, dst channels, dst key_fn, key -> target memo) per out edge.
+        self._out: list | None = None
+        self._out_channels: list[InputChannel] = []
 
     # -- wiring -------------------------------------------------------------
 
@@ -85,24 +95,62 @@ class SubTask:
 
     # -- output routing -------------------------------------------------------
 
-    def _route_record(self, edge: Edge, record: StreamRecord) -> None:
-        dst_spec = self.runtime.graph.operators[edge.dst]
-        dst_tasks = self.runtime.tasks[edge.dst]
+    def _output_wiring(self) -> list:
+        """Per-edge destination wiring, resolved once.
+
+        The job graph is immutable after ``validate_graph``, so the
+        per-record graph and task-table lookups of the naive routing path
+        collapse into cached channel lists; each hash edge also carries a
+        key -> target memo so a key is partition-hashed only the first
+        time it is seen.
+        """
+        if self._out is None:
+            self._out = []
+            self._out_channels = []
+            for edge in self.runtime.graph.downstream_of(self.spec.op_id):
+                dst_spec = self.runtime.graph.operators[edge.dst]
+                channels = [
+                    task.inputs[(self.spec.op_id, self.index)]
+                    for task in self.runtime.tasks[edge.dst]
+                ]
+                key_fn = self._dst_key_fn(dst_spec, edge)
+                self._out.append((edge, channels, key_fn, {}))
+                self._out_channels.extend(channels)
+        return self._out
+
+    def _route_record(
+        self,
+        edge: Edge,
+        channels: list[InputChannel],
+        key_fn,
+        key_targets: dict,
+        record: StreamRecord,
+    ) -> None:
+        if PERF.enabled:
+            PERF.inc("flink.cached_routes")
         if edge.partitioning == "hash":
-            key_fn = self._dst_key_fn(dst_spec, edge)
             key = key_fn(record.value) if key_fn is not None else record.key
             record = record.with_key(key)
-            target = hash_partitioner(key, len(dst_tasks))
-            targets = [target]
+            try:
+                target = key_targets.get(key)
+            except TypeError:  # unhashable key: hash every time
+                target = hash_partitioner(key, len(channels))
+            else:
+                if target is None:
+                    target = hash_partitioner(key, len(channels))
+                    key_targets[key] = target
+            targets = (target,)
         elif edge.partitioning == "broadcast":
-            targets = list(range(len(dst_tasks)))
+            targets = range(len(channels))
         elif edge.partitioning == "rebalance":
-            targets = [self._rebalance_cursor % len(dst_tasks)]
+            targets = (self._rebalance_cursor % len(channels),)
             self._rebalance_cursor += 1
         else:  # forward
-            targets = [self.index % len(dst_tasks)]
+            targets = (self.index % len(channels),)
+        if PERF.enabled:
+            PERF.inc("flink.channel_pushes", len(targets))
         for target in targets:
-            dst_tasks[target].inputs[(self.spec.op_id, self.index)].push(record)
+            channels[target].push(record)
 
     @staticmethod
     def _dst_key_fn(dst_spec: OperatorSpec, edge: Edge):
@@ -112,26 +160,30 @@ class SubTask:
 
     def _broadcast_control(self, element: Any) -> None:
         """Watermarks and barriers go to every downstream subtask."""
-        for edge in self.runtime.graph.downstream_of(self.spec.op_id):
-            for task in self.runtime.tasks[edge.dst]:
-                task.inputs[(self.spec.op_id, self.index)].push(element)
+        self._output_wiring()
+        for channel in self._out_channels:
+            channel.push(element)
 
     def emit(self, elements: list[Any]) -> None:
+        wiring = self._output_wiring()
         for element in elements:
             if isinstance(element, StreamRecord):
-                for edge in self.runtime.graph.downstream_of(self.spec.op_id):
-                    self._route_record(edge, element)
+                for edge, channels, key_fn, key_targets in wiring:
+                    self._route_record(edge, channels, key_fn, key_targets, element)
             else:
-                self._broadcast_control(element)
+                for channel in self._out_channels:
+                    channel.push(element)
 
     # -- backpressure ------------------------------------------------------------
 
     def output_has_space(self) -> bool:
-        for edge in self.runtime.graph.downstream_of(self.spec.op_id):
-            for task in self.runtime.tasks[edge.dst]:
-                channel = task.inputs.get((self.spec.op_id, self.index))
-                if channel is not None and not channel.has_space():
-                    return False
+        self._output_wiring()
+        channels = self._out_channels
+        if PERF.enabled:
+            PERF.inc("flink.space_channel_checks", len(channels))
+        for channel in channels:
+            if not channel.has_space():
+                return False
         return True
 
     # -- execution -----------------------------------------------------------------
@@ -177,17 +229,58 @@ class SubTask:
             for channel in self.inputs.values():
                 if processed >= budget:
                     break
-                if channel.blocked_for is not None or not channel.queue:
+                queue = channel.queue
+                if channel.blocked_for is not None or not queue:
                     continue
-                element = channel.queue.popleft()
-                processed += 1
+                if isinstance(queue[0], StreamRecord):
+                    # Micro-batch: drain a run of consecutive data records
+                    # from this channel under a single backpressure probe.
+                    # Control elements (watermarks, barriers, status) are
+                    # never part of a run, so alignment and watermark
+                    # propagation behave exactly as in the singly-stepped
+                    # path.
+                    limit = min(budget - processed, MICRO_BATCH)
+                    run = [queue.popleft()]
+                    while len(run) < limit and queue and isinstance(
+                        queue[0], StreamRecord
+                    ):
+                        run.append(queue.popleft())
+                    self._handle_records(run, channel)
+                    processed += len(run)
+                else:
+                    self._handle(queue.popleft(), channel)
+                    processed += 1
                 progress = True
-                self._handle(element, channel)
                 if not self.output_has_space():
                     return processed
         return processed
 
+    def _handle_records(
+        self, records: list[StreamRecord], channel: InputChannel
+    ) -> None:
+        """Dispatch a drained run of data records in one operator call."""
+        if PERF.enabled:
+            PERF.inc("flink.batch_elements", len(records))
+        self.records_processed += len(records)
+        if self.spec.kind == "sink":
+            sink = self.spec.sink
+            tracer = self.runtime.tracer
+            for record in records:
+                sink.write(record)
+                if tracer is not None and record.trace is not None:
+                    tracer.end_span(
+                        record.trace.trace_id,
+                        "process",
+                        end=self.runtime.clock.now(),
+                        sink=self.spec.op_id,
+                    )
+        else:
+            assert self.operator is not None
+            self.emit(self.operator.process_batch(records, channel.input_index))
+
     def _handle(self, element: Any, channel: InputChannel) -> None:
+        if PERF.enabled:
+            PERF.inc("flink.elements")
         if isinstance(element, StreamRecord):
             self.records_processed += 1
             if self.spec.kind == "sink":

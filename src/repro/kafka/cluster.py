@@ -28,8 +28,9 @@ from repro.common.errors import (
     UnknownTopicError,
 )
 from repro.common.metrics import MetricsRegistry
+from repro.common.perf import PERF
 from repro.common.records import Record
-from repro.kafka.log import LogEntry, PartitionLog
+from repro.kafka.log import LogEntry, PartitionLog, _record_size
 from repro.observability.trace import SpanCollector, TraceContext
 
 
@@ -235,6 +236,28 @@ class KafkaCluster:
         acks: str = "1",
     ) -> int:
         """Append one record to a partition leader; returns the offset."""
+        return self.append_batch(topic, partition, (record,), acks)
+
+    def append_batch(
+        self,
+        topic: str,
+        partition: int,
+        records: "list[Record] | tuple[Record, ...]",
+        acks: str = "1",
+        sizes: list[int] | None = None,
+    ) -> int:
+        """Append a whole producer batch in one request; returns the base
+        offset (record ``i`` lands at ``base + i``).
+
+        Partition state, leadership and the acks=all replica check are
+        resolved once per batch instead of once per record, and each
+        record's size is encoded once and shared by every replica.  Under
+        ``acks=all`` the replica check happens *before* any record lands,
+        so a failed call appends nothing and the whole batch is safe to
+        retry.
+        """
+        if PERF.enabled:
+            PERF.inc("kafka.partition_resolutions")
         pstate = self._pstate(topic, partition)
         if self._topic(topic).config.lossless:
             acks = "all"
@@ -246,9 +269,8 @@ class KafkaCluster:
             raise BrokerUnavailableError(
                 f"no live replica for {topic}[{partition}] on {self.name}"
             )
-        now = self.clock.now()
+        followers = []
         if acks == "all":
-            followers = []
             for broker_id in pstate.replica_brokers:
                 if broker_id == pstate.leader:
                     continue
@@ -259,13 +281,22 @@ class KafkaCluster:
                         f"{topic}[{partition}] is down"
                     )
                 followers.append(broker.replicas[(topic, partition)])
-            offset = leader_log.append(record, now)
+        if not records:
+            return leader_log.end_offset
+        now = self.clock.now()
+        if sizes is None:
+            sizes = [_record_size(record) for record in records]
+        base = leader_log.append_batch(records, now, sizes)
+        if followers:
+            entries = leader_log.read(base, len(records))
             for log in followers:
-                log.append(record, now)
-        else:
-            offset = leader_log.append(record, now)
-        self.metrics.counter("records_in").inc()
-        return offset
+                if log.end_offset == base:
+                    # In-sync replica: share the leader's frozen entries.
+                    log.extend_shared(entries, sizes)
+                else:
+                    log.append_batch(records, now, sizes)
+        self.metrics.counter("records_in").inc(len(records))
+        return base
 
     def fetch(
         self,
@@ -274,6 +305,9 @@ class KafkaCluster:
         offset: int,
         max_records: int = 500,
     ) -> list[LogEntry]:
+        if PERF.enabled:
+            PERF.inc("kafka.partition_resolutions")
+            PERF.inc("kafka.fetch_calls")
         pstate = self._pstate(topic, partition)
         leader_log = self._leader_log(pstate)
         if leader_log is None:
@@ -281,6 +315,8 @@ class KafkaCluster:
                 f"no live leader for {topic}[{partition}] on {self.name}"
             )
         entries = leader_log.read(offset, max_records)
+        if PERF.enabled and entries:
+            PERF.inc("kafka.records_fetched", len(entries))
         self.metrics.counter("records_out").inc(len(entries))
         return entries
 
@@ -342,23 +378,47 @@ class KafkaCluster:
                     follower = broker.replicas[(pstate.topic, pstate.partition)]
                     if follower.end_offset > leader_log.end_offset:
                         follower.truncate_to(leader_log.end_offset)
-                    for entry in leader_log.iter_from(follower.end_offset):
-                        follower.append(entry.record, entry.append_time)
-                        copied += 1
-                        if self.tracer is not None:
-                            ctx = TraceContext.from_record(entry.record)
-                            if ctx is not None:
-                                self.tracer.record_span(
-                                    ctx.trace_id,
-                                    "replicate",
-                                    "kafka",
-                                    start=entry.append_time,
-                                    end=self.clock.now(),
-                                    topic=pstate.topic,
-                                    partition=pstate.partition,
-                                    follower=broker_id,
-                                )
+                    if follower.end_offset < leader_log.start_offset:
+                        # Leader trimmed its head past this follower (tiered
+                        # storage): re-stamp the retained leader entries
+                        # under the follower's own offset numbering.
+                        for entry in leader_log.iter_from(follower.end_offset):
+                            follower.append(entry.record, entry.append_time)
+                            copied += 1
+                            self._trace_replication(pstate, broker_id, [entry])
+                        continue
+                    while follower.end_offset < leader_log.end_offset:
+                        entries, sizes = leader_log.read_with_sizes(
+                            follower.end_offset, 500
+                        )
+                        if not entries:
+                            break
+                        follower.extend_shared(entries, sizes)
+                        copied += len(entries)
+                        self._trace_replication(pstate, broker_id, entries)
         return copied
+
+    def _trace_replication(
+        self,
+        pstate: PartitionState,
+        follower_id: int,
+        entries: list[LogEntry],
+    ) -> None:
+        if self.tracer is None:
+            return
+        for entry in entries:
+            ctx = TraceContext.from_record(entry.record)
+            if ctx is not None:
+                self.tracer.record_span(
+                    ctx.trace_id,
+                    "replicate",
+                    "kafka",
+                    start=entry.append_time,
+                    end=self.clock.now(),
+                    topic=pstate.topic,
+                    partition=pstate.partition,
+                    follower=follower_id,
+                )
 
     def apply_retention(self) -> int:
         """Expire old data on every replica per each topic's config."""

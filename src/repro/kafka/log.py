@@ -13,6 +13,7 @@ from typing import Iterator
 
 from repro.common import serde
 from repro.common.errors import OffsetOutOfRangeError
+from repro.common.perf import PERF
 from repro.common.records import Record
 
 
@@ -30,6 +31,10 @@ class PartitionLog:
 
     def __init__(self) -> None:
         self._entries: list[LogEntry] = []
+        # Encoded size of each retained entry, parallel to _entries.  Kept
+        # so truncation/retention/replication never re-encode a record the
+        # log already measured once at append time.
+        self._sizes: list[int] = []
         self._start_offset = 0  # offset of the first retained entry
         self._bytes = 0
 
@@ -53,9 +58,59 @@ class PartitionLog:
     def append(self, record: Record, append_time: float) -> int:
         """Append one record; returns its offset."""
         offset = self.end_offset
+        if PERF.enabled:
+            PERF.inc("kafka.entry_allocs")
         self._entries.append(LogEntry(offset, record, append_time))
-        self._bytes += _record_size(record)
+        size = _record_size(record)
+        self._sizes.append(size)
+        self._bytes += size
         return offset
+
+    def append_batch(
+        self,
+        records: "list[Record] | tuple[Record, ...]",
+        append_time: float,
+        sizes: list[int] | None = None,
+    ) -> int:
+        """Append many records in one call; returns the base (first) offset.
+
+        ``sizes`` carries precomputed per-record encoded sizes so replicas
+        don't re-encode what the leader already measured.
+        """
+        base = self.end_offset
+        if not records:
+            return base
+        if sizes is None:
+            sizes = [_record_size(record) for record in records]
+        if PERF.enabled:
+            PERF.inc("kafka.entry_allocs", len(records))
+        self._entries.extend(
+            LogEntry(base + i, record, append_time)
+            for i, record in enumerate(records)
+        )
+        self._sizes.extend(sizes)
+        self._bytes += sum(sizes)
+        return base
+
+    def extend_shared(self, entries: list[LogEntry], sizes: list[int]) -> int:
+        """Adopt already-constructed entries from a leader's log.
+
+        The fast path for in-sync replicas: :class:`LogEntry` is frozen, so
+        leader and followers can hold the very same objects — no per-replica
+        re-construction or re-encoding.  Offsets must line up exactly.
+        """
+        base = self.end_offset
+        if not entries:
+            return base
+        if entries[0].offset != base:
+            raise OffsetOutOfRangeError(
+                f"shared entries start at offset {entries[0].offset}, "
+                f"log ends at {base}"
+            )
+        self._entries.extend(entries)
+        self._sizes.extend(sizes)
+        self._bytes += sum(sizes)
+        return base
 
     def read(self, offset: int, max_records: int = 500) -> list[LogEntry]:
         """Read up to ``max_records`` entries starting at ``offset``.
@@ -71,6 +126,15 @@ class PartitionLog:
             )
         index = offset - self._start_offset
         return self._entries[index : index + max_records]
+
+    def read_with_sizes(
+        self, offset: int, max_records: int = 500
+    ) -> tuple[list[LogEntry], list[int]]:
+        """Like :meth:`read`, also returning the stored encoded sizes —
+        replication hands both to :meth:`extend_shared`."""
+        entries = self.read(offset, max_records)
+        index = offset - self._start_offset
+        return entries, self._sizes[index : index + len(entries)]
 
     def entry_at(self, offset: int) -> LogEntry:
         entries = self.read(offset, max_records=1)
@@ -103,21 +167,22 @@ class PartitionLog:
         """Discard entries at or after ``end_offset`` (leader-change
         truncation of a diverged follower).  Returns entries removed."""
         keep = max(0, end_offset - self._start_offset)
-        removed = self._entries[keep:]
-        self._entries = self._entries[:keep]
-        self._bytes -= sum(_record_size(e.record) for e in removed)
-        return len(removed)
+        removed = max(0, len(self._entries) - keep)
+        self._bytes -= sum(self._sizes[keep:])
+        del self._entries[keep:]
+        del self._sizes[keep:]
+        return removed
 
     def trim_head_to(self, offset: int) -> int:
         """Advance the start offset to ``offset``, discarding earlier
         entries (tiered storage: the cold tier owns them now).  Returns the
         number of entries trimmed."""
-        trimmed = 0
-        while self._entries and self._start_offset < offset:
-            head = self._entries.pop(0)
-            self._bytes -= _record_size(head.record)
-            self._start_offset += 1
-            trimmed += 1
+        trimmed = min(len(self._entries), max(0, offset - self._start_offset))
+        if trimmed:
+            self._bytes -= sum(self._sizes[:trimmed])
+            del self._entries[:trimmed]
+            del self._sizes[:trimmed]
+            self._start_offset += trimmed
         if self._start_offset < offset and not self._entries:
             self._start_offset = offset
         return trimmed
@@ -141,13 +206,15 @@ class PartitionLog:
             if not too_old and not too_big:
                 break
             self._entries.pop(0)
-            self._bytes -= _record_size(head.record)
+            self._bytes -= self._sizes.pop(0)
             self._start_offset += 1
             expired += 1
         return expired
 
 
 def _record_size(record: Record) -> int:
+    if PERF.enabled:
+        PERF.inc("kafka.size_encodings")
     return serde.encoded_size(
         {
             "key": record.key,

@@ -13,12 +13,14 @@ from typing import Any
 
 from repro.common import serde
 from repro.common.clock import Clock, SystemClock
+from repro.kafka.log import _record_size
 from repro.common.errors import (
     BrokerUnavailableError,
     KafkaError,
     NotEnoughReplicasError,
 )
 from repro.common.metrics import MetricsRegistry
+from repro.common.perf import PERF
 from repro.common.records import Record, stamp_audit_headers
 from repro.common.retry import RetryPolicy
 from repro.common.rng import seeded_rng
@@ -47,6 +49,8 @@ def hash_partitioner(key: Any, num_partitions: int) -> int:
     the upsert design (Section 4.3.1) relies on the same key always landing
     on the same partition.
     """
+    if PERF.enabled:
+        PERF.inc("kafka.key_hashes")
     data = serde.encode(key)
     acc = 0xCBF29CE484222325
     for byte in data:
@@ -60,6 +64,7 @@ class _Batch:
     partition: int
     records: list[Record] = field(default_factory=list)
     sent_at: list[float] = field(default_factory=list)
+    sizes: list[int] = field(default_factory=list)
     bytes: int = 0
 
 
@@ -98,6 +103,9 @@ class Producer:
         self._retry_rng = seeded_rng(0, f"producer.{service_name}")
         self._batches: dict[tuple[str, int], _Batch] = {}
         self._sticky: dict[str, int] = {}
+        # Memoized keyed-partition choices: hash_partitioner is pure, so
+        # (topic, key, partition count) -> partition never changes.
+        self._partition_cache: dict[tuple[str, Any, int], int] = {}
         self._sends = 0
         self._last_flush: list[RecordMetadata] = []
         self.metrics = metrics or MetricsRegistry(f"producer.{service_name}")
@@ -138,7 +146,12 @@ class Producer:
         # constructed with its own clock would otherwise emit produce spans
         # that end (at append, cluster time) before they start.
         batch.sent_at.append(self.cluster.clock.now())
-        batch.bytes += serde.encoded_size(value)
+        # Encode the full record envelope exactly once: the size drives
+        # batch accounting here and rides along to the broker, which would
+        # otherwise re-encode every record for its log byte accounting.
+        size = _record_size(record)
+        batch.sizes.append(size)
+        batch.bytes += size
         self._sends += 1
         if batch.bytes >= self.batch_size:
             self._flush_batch(topic, partition)
@@ -147,7 +160,15 @@ class Producer:
     def _choose_partition(self, topic: str, key: Any) -> int:
         num_partitions = self.cluster.partition_count(topic)
         if key is not None:
-            return hash_partitioner(key, num_partitions)
+            try:
+                cache_key = (topic, key, num_partitions)
+                partition = self._partition_cache.get(cache_key)
+            except TypeError:  # unhashable key: hash every time
+                return hash_partitioner(key, num_partitions)
+            if partition is None:
+                partition = hash_partitioner(key, num_partitions)
+                self._partition_cache[cache_key] = partition
+            return partition
         # Sticky partitioner: fill one partition per batch window, rotate.
         current = self._sticky.get(topic, 0)
         self._sticky[topic] = current
@@ -157,11 +178,20 @@ class Producer:
         num_partitions = self.cluster.partition_count(topic)
         self._sticky[topic] = (self._sticky.get(topic, 0) + 1) % num_partitions
 
-    def _append(self, topic: str, partition: int, record: Record) -> int:
+    def _append_batch(
+        self, topic: str, partition: int, records: list[Record], sizes: list[int]
+    ) -> int:
         if self.retry_policy is None:
-            return self.cluster.append(topic, partition, record, acks=self.acks)
+            return self.cluster.append_batch(
+                topic, partition, records, acks=self.acks, sizes=sizes
+            )
+        # Whole-batch retry is safe: the cluster verifies leadership and
+        # (under acks=all) replica liveness before any record lands, so a
+        # failed attempt appends nothing.
         return self.retry_policy.call(
-            lambda: self.cluster.append(topic, partition, record, acks=self.acks),
+            lambda: self.cluster.append_batch(
+                topic, partition, records, acks=self.acks, sizes=sizes
+            ),
             retry_on=(BrokerUnavailableError, NotEnoughReplicasError),
             clock=self.cluster.clock,
             rng=self._retry_rng,
@@ -171,11 +201,16 @@ class Producer:
         batch = self._batches.pop((topic, partition), None)
         if batch is None or not batch.records:
             return []
-        out = []
-        for record, sent_at in zip(batch.records, batch.sent_at):
-            offset = self._append(topic, partition, record)
-            out.append(RecordMetadata(topic, partition, offset))
-            if self.tracer is not None:
+        base = self._append_batch(topic, partition, batch.records, batch.sizes)
+        out = [
+            RecordMetadata(topic, partition, base + i)
+            for i in range(len(batch.records))
+        ]
+        if self.tracer is not None:
+            end = self.cluster.clock.now()
+            for i, (record, sent_at) in enumerate(
+                zip(batch.records, batch.sent_at)
+            ):
                 ctx = TraceContext.from_record(record)
                 if ctx is not None:
                     self.tracer.record_span(
@@ -183,10 +218,10 @@ class Producer:
                         "produce",
                         "kafka",
                         start=sent_at,
-                        end=self.cluster.clock.now(),
+                        end=end,
                         topic=topic,
                         partition=partition,
-                        offset=offset,
+                        offset=base + i,
                     )
         self.metrics.counter("records_sent").inc(len(batch.records))
         self.metrics.counter("batches_sent").inc()

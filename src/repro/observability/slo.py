@@ -16,7 +16,7 @@ render a text dashboard of pass/fail per target.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.observability.freshness import FreshnessReport
 from repro.observability.trace import SpanCollector

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.common.errors import QueryError
+from repro.common.perf import PERF
 from repro.pinot.indexes import intersect_sorted, union_sorted
 from repro.pinot.segment import ImmutableSegment, MutableSegment
 
@@ -33,6 +34,8 @@ class Filter:
     high: Any = None
 
     def matches(self, cell: Any) -> bool:
+        if PERF.enabled:
+            PERF.inc("pinot.filter_evals")
         if cell is None:
             return False
         if self.op == "=":
@@ -216,13 +219,19 @@ def _resolve_filter(
         ]
         plan.docs_examined += len(boundary)
         return union_sorted([certain, refined])
-    # Fallback: forward-index scan.
+    # Fallback: forward-index scan, evaluated in code space.  The predicate
+    # runs once per distinct dictionary value; each doc is then a bulk-decoded
+    # code lookup instead of a random-access cell read plus a predicate call.
     plan.access_paths.append(f"scan:{flt.column}")
     fwd = segment.forward.get(flt.column)
     if fwd is None:
         raise QueryError(f"unknown column {flt.column!r} in segment {segment.name}")
     plan.docs_examined += len(fwd)
-    return [d for d in range(len(fwd)) if flt.matches(fwd.get(d))]
+    mask = fwd.match_mask(flt.matches)
+    codes = fwd.codes()
+    if PERF.enabled:
+        PERF.inc("pinot.code_filter_evals", len(codes))
+    return [d for d, code in enumerate(codes) if mask[code]]
 
 
 def _try_startree(
@@ -257,6 +266,27 @@ def _try_startree(
     return partial
 
 
+def _column_reader(
+    segment: ImmutableSegment | MutableSegment, column: str, docs_needed: int
+):
+    """Per-doc value accessor for one column.
+
+    On sealed segments, when enough docs are touched to amortize it, the
+    whole column is bulk-decoded once and reads become plain list indexing;
+    selective queries keep random-access reads.  Unknown columns still fail
+    on first read, exactly like ``segment.value`` does.
+    """
+    if isinstance(segment, ImmutableSegment):
+        fwd = segment.forward.get(column)
+        # Bulk decode costs ~1/5th of a random cell read, so it pays off
+        # once a fifth of the column is needed.
+        if fwd is not None and docs_needed * 5 >= len(fwd):
+            return fwd.values_list().__getitem__
+        if fwd is not None:
+            return fwd.get
+    return lambda doc_id: segment.value(column, doc_id)
+
+
 def execute_on_segment(
     segment: ImmutableSegment | MutableSegment,
     query: PinotQuery,
@@ -277,23 +307,32 @@ def execute_on_segment(
         matching = [d for d in matching if d in valid_doc_ids]
     partial = PartialResult(plan=plan)
     if query.is_aggregation():
+        group_readers = [
+            _column_reader(segment, c, len(matching)) for c in query.group_by
+        ]
+        agg_readers = [
+            _column_reader(segment, a.column, len(matching))
+            if a.column is not None
+            else None
+            for a in query.aggregations
+        ]
         for doc_id in matching:
-            key = tuple(segment.value(c, doc_id) for c in query.group_by)
+            key = tuple(read(doc_id) for read in group_readers)
             states = partial.groups.get(key)
             if states is None:
                 states = [_new_agg_state(a) for a in query.aggregations]
                 partial.groups[key] = states
             for i, agg in enumerate(query.aggregations):
-                value = (
-                    segment.value(agg.column, doc_id)
-                    if agg.column is not None
-                    else None
-                )
+                reader = agg_readers[i]
+                value = reader(doc_id) if reader is not None else None
                 states[i] = _update_agg_state(agg, states[i], value)
     else:
         columns = query.select_columns or _column_names(segment)
+        readers = [
+            (c, _column_reader(segment, c, len(matching))) for c in columns
+        ]
         for doc_id in matching:
-            partial.rows.append({c: segment.value(c, doc_id) for c in columns})
+            partial.rows.append({c: read(doc_id) for c, read in readers})
     return partial
 
 

@@ -160,8 +160,20 @@ class RealtimeIngestion:
             column_names=self.config.schema.field_names(),
         )
         if self.config.startree_config is not None:
-            rows = [sealed.row(d) for d in range(sealed.num_docs)]
-            sealed.startree = StarTree(rows, self.config.startree_config)
+            # Feed the tree column arrays straight off the forward indexes
+            # (one bulk decode per column) instead of materializing a row
+            # dict per doc.
+            tree_config = self.config.startree_config
+            columns = {
+                name: sealed.forward[name].values_list()
+                for name in dict.fromkeys(
+                    list(tree_config.dimensions) + list(tree_config.metrics)
+                )
+                if name in sealed.forward
+            }
+            sealed.startree = StarTree.from_columns(
+                columns, sealed.num_docs, tree_config
+            )
         # Owner replaces its consuming copy with the sealed one; replicas
         # receive copies so they can serve (and later provide peer recovery).
         state.owner.host_segment(sealed)

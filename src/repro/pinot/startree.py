@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.common.errors import QueryError
+from repro.common.perf import PERF
 
 STAR = "__star__"
 
@@ -49,24 +50,57 @@ class StarTreeStats:
 
 
 class StarTree:
-    """Built once per sealed segment from its rows."""
+    """Built once per sealed segment.
+
+    Internally the tree holds column arrays, not row dicts: build-time
+    grouping and leaf scans are plain list indexing.  Construct from rows
+    (``StarTree(rows, config)``) or, on the sealed-segment fast path,
+    straight from bulk-decoded forward indexes (:meth:`from_columns`).
+    """
 
     def __init__(
         self,
         rows: Sequence[dict[str, Any]],
         config: StarTreeConfig,
     ) -> None:
+        needed = dict.fromkeys(list(config.dimensions) + list(config.metrics))
+        columns = {name: [row.get(name) for row in rows] for name in needed}
+        self._init_from_columns(columns, len(rows), config)
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: dict[str, list[Any]],
+        num_docs: int,
+        config: StarTreeConfig,
+    ) -> "StarTree":
+        """Build from column arrays (missing columns read as all-NULL)."""
+        tree = cls.__new__(cls)
+        tree._init_from_columns(dict(columns), num_docs, config)
+        return tree
+
+    def _init_from_columns(
+        self,
+        columns: dict[str, list[Any]],
+        num_docs: int,
+        config: StarTreeConfig,
+    ) -> None:
         self.config = config
-        self._rows = rows
+        for name in list(config.dimensions) + list(config.metrics):
+            columns.setdefault(name, [None] * num_docs)
+        self._columns = columns
         self.node_count = 0
-        self.root = self._build(list(range(len(rows))), 0)
+        self.root = self._build(list(range(num_docs)), 0)
 
     def _aggregate(self, doc_ids: list[int]) -> _Node:
+        if PERF.enabled:
+            PERF.inc("pinot.tree_build_rows", len(doc_ids))
         node = _Node(count=len(doc_ids))
         for metric in self.config.metrics:
+            column = self._columns[metric]
             total = 0.0
             for doc_id in doc_ids:
-                value = self._rows[doc_id].get(metric)
+                value = column[doc_id]
                 if value is not None:
                     total += value
             node.sums[metric] = total
@@ -79,10 +113,10 @@ class StarTree:
         if done or len(doc_ids) <= self.config.max_leaf_records:
             node.doc_ids = doc_ids
             return node
-        dimension = self.config.dimensions[dim_index]
+        column = self._columns[self.config.dimensions[dim_index]]
         groups: dict[Any, list[int]] = {}
         for doc_id in doc_ids:
-            groups.setdefault(self._rows[doc_id].get(dimension), []).append(doc_id)
+            groups.setdefault(column[doc_id], []).append(doc_id)
         node.children = {}
         for value, members in groups.items():
             node.children[value] = self._build(members, dim_index + 1)
@@ -144,6 +178,8 @@ class StarTree:
         stats: StarTreeStats,
     ) -> None:
         stats.nodes_visited += 1
+        if PERF.enabled:
+            PERF.inc("pinot.tree_nodes")
         if node.children is None:
             # Leaf: resolve remaining filters/groups by scanning its docs.
             remaining_dims = self.config.dimensions[dim_index:]
@@ -153,13 +189,23 @@ class StarTree:
                 self._accumulate(results, group_key, node.count, node.sums, sum_metric)
                 return
             assert node.doc_ids is not None
+            if PERF.enabled:
+                PERF.inc("pinot.tree_docs", len(node.doc_ids))
+            filter_columns = [
+                (self._columns[d], v) for d, v in live_filters.items()
+            ]
+            group_columns = [self._columns[d] for d in live_groups]
+            metric_column = (
+                self._columns[sum_metric] if sum_metric is not None else None
+            )
             for doc_id in node.doc_ids:
-                row = self._rows[doc_id]
                 stats.docs_scanned += 1
-                if any(row.get(d) != v for d, v in live_filters.items()):
+                if any(col[doc_id] != v for col, v in filter_columns):
                     continue
-                key = group_key + tuple(row.get(d) for d in live_groups)
-                value = row.get(sum_metric) if sum_metric is not None else None
+                key = group_key + tuple(col[doc_id] for col in group_columns)
+                value = (
+                    metric_column[doc_id] if metric_column is not None else None
+                )
                 self._accumulate(
                     results,
                     key,

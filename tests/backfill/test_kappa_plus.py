@@ -3,7 +3,6 @@ import pytest
 from repro.backfill import KappaPlusRunner, kappa_replay, lambda_batch
 from repro.common.clock import SimulatedClock
 from repro.common.errors import BackfillError
-from repro.common.records import Record, stamp_audit_headers
 from repro.flink.windows import SumAggregate, TumblingWindows
 from repro.kafka.cluster import KafkaCluster, TopicConfig
 from repro.kafka.producer import Producer

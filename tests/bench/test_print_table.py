@@ -1,0 +1,36 @@
+"""benchmarks/conftest.py print_table: ragged rows must not crash."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+_CONFTEST = Path(__file__).resolve().parents[2] / "benchmarks" / "conftest.py"
+
+
+def _load_print_table():
+    spec = importlib.util.spec_from_file_location("bench_conftest", _CONFTEST)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.print_table
+
+
+def test_print_table_regular_rows(capsys):
+    print_table = _load_print_table()
+    print_table("t", ["a", "bb"], [[1, 2.5], ["x", "y"]])
+    out = capsys.readouterr().out
+    assert "== t ==" in out
+    assert "2.50" in out
+
+
+def test_print_table_short_row_is_padded(capsys):
+    print_table = _load_print_table()
+    print_table("t", ["a", "b", "c"], [[1], [1, 2, 3]])
+    out = capsys.readouterr().out
+    assert out.count("\n") >= 4  # title + header + rule + two rows
+
+
+def test_print_table_long_row_keeps_extra_cells(capsys):
+    print_table = _load_print_table()
+    print_table("t", ["a"], [[1, "extra"]])
+    assert "extra" in capsys.readouterr().out

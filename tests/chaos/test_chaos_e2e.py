@@ -11,8 +11,6 @@ single seeded timeline — and must come out the other side with:
 * the freshness SLO re-attained, with every fault visible as a span.
 """
 
-import pytest
-
 from repro import (
     Field,
     FieldRole,

@@ -12,7 +12,6 @@ from repro.metadata.registry import SchemaRegistry
 from repro.metadata.schema import Field, FieldRole, FieldType, Schema, infer_schema
 from repro.pinot.broker import PinotBroker
 from repro.pinot.controller import PinotController
-from repro.pinot.query import Aggregation, PinotQuery
 from repro.pinot.recovery import PeerToPeerBackup
 from repro.pinot.segment import IndexConfig
 from repro.pinot.server import PinotServer

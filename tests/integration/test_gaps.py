@@ -2,8 +2,6 @@
 (offline segment) path into Pinot, Kafka sinks from Flink, keyed process
 functions, and sliding/session windows inside full pipelines."""
 
-import pytest
-
 from repro.common.clock import SimulatedClock
 from repro.flink.graph import StreamEnvironment
 from repro.flink.operators import BoundedListSource

@@ -5,8 +5,6 @@ monotonically ordered span timestamps, and a freshness probe reporting a
 seconds-level end-to-end interval (paper Section 8).
 """
 
-import pytest
-
 from repro import (
     Field,
     FieldRole,

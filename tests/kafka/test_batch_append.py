@@ -1,0 +1,96 @@
+"""Batched append must be observationally equivalent to per-record append.
+
+The producer flushes whole batches through ``KafkaCluster.append_batch``;
+this pins down that the batched path leaves every replica's log — offsets,
+records, byte accounting — exactly as N per-record appends would, under
+``acks=all`` where the replica bookkeeping is heaviest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import NotEnoughReplicasError
+from repro.common.records import Record
+from repro.kafka.cluster import KafkaCluster, TopicConfig
+from repro.kafka.log import _record_size
+
+
+def _records(n: int) -> list[Record]:
+    return [
+        Record(key=f"k{i % 3}", value={"seq": i, "pad": "x" * 20}, event_time=float(i))
+        for i in range(n)
+    ]
+
+
+def _cluster() -> KafkaCluster:
+    cluster = KafkaCluster("t", 3, clock=SimulatedClock())
+    cluster.create_topic("events", TopicConfig(partitions=1, replication_factor=3))
+    return cluster
+
+
+def _log_state(cluster: KafkaCluster) -> list[tuple]:
+    state = []
+    for broker in cluster.brokers.values():
+        log = broker.replicas.get(("events", 0))
+        if log is None:
+            continue
+        state.append(
+            (
+                broker.broker_id,
+                log.start_offset,
+                log.end_offset,
+                log.size_bytes,
+                [(e.offset, e.record, e.append_time) for e in log.iter_from(0)],
+            )
+        )
+    return state
+
+
+def test_batch_append_equals_per_record_append_under_acks_all():
+    records = _records(25)
+
+    singly = _cluster()
+    for record in records:
+        singly.append("events", 0, record, acks="all")
+
+    batched = _cluster()
+    base = batched.append_batch("events", 0, records, acks="all")
+
+    assert base == 0
+    assert _log_state(batched) == _log_state(singly)
+    assert batched.end_offset("events", 0) == len(records)
+
+
+def test_batch_append_respects_precomputed_sizes():
+    records = _records(8)
+    sizes = [_record_size(r) for r in records]
+    cluster = _cluster()
+    cluster.append_batch("events", 0, records, acks="all", sizes=sizes)
+    for broker in cluster.brokers.values():
+        log = broker.replicas[("events", 0)]
+        assert log.size_bytes == sum(sizes)
+
+
+def test_batch_append_is_atomic_when_replicas_are_short():
+    # acks=all checks replica liveness before any record lands, so a
+    # failed batch appends nothing (whole-batch retry is safe).
+    cluster = _cluster()
+    cluster.kill_broker(1)
+    cluster.kill_broker(2)
+    with pytest.raises(NotEnoughReplicasError):
+        cluster.append_batch("events", 0, _records(5), acks="all")
+    assert cluster.end_offset("events", 0) == 0
+
+
+def test_followers_share_leader_entries():
+    # In-sync replicas adopt the leader's frozen LogEntry objects rather
+    # than rebuilding them.
+    cluster = _cluster()
+    cluster.append_batch("events", 0, _records(4), acks="all")
+    logs = [b.replicas[("events", 0)] for b in cluster.brokers.values()]
+    leader_entries = list(logs[0].iter_from(0))
+    for log in logs[1:]:
+        for mine, theirs in zip(leader_entries, log.iter_from(0)):
+            assert mine is theirs

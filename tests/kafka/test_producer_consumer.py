@@ -1,6 +1,5 @@
 import pytest
 
-from repro.common.clock import SimulatedClock
 from repro.common.errors import KafkaError
 from repro.kafka.cluster import KafkaCluster, TopicConfig
 from repro.kafka.consumer import Consumer, GroupCoordinator

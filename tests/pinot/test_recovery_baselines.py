@@ -205,7 +205,7 @@ class TestOlapBaselines:
             group_by=["status"],
             limit=100,
         )
-        from repro.pinot.query import execute_on_segment, finalize_agg_state
+        from repro.pinot.query import execute_on_segment
 
         partial = execute_on_segment(segment, query)
         pinot_rows = {

@@ -17,7 +17,6 @@ from repro.pinot.query import (
     Filter,
     PinotQuery,
     execute_on_segment,
-    finalize_agg_state,
 )
 from repro.pinot.segment import ImmutableSegment, IndexConfig
 from repro.pinot.startree import StarTree, StarTreeConfig
