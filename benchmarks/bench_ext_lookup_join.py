@@ -126,10 +126,13 @@ def test_lookup_join_vs_presto(benchmark):
     )
     print_table(
         f"X2: enrich {N_FACTS} facts with a {N_RESTAURANTS}-row dimension",
-        ["join path", "latency (s)", "rows leaving OLAP layer"],
+        ["join path", "latency (s)", "rows leaving OLAP layer",
+         "segments scanned", "cache hits"],
         [
-            ["pinot lookup join", f"{lookup_latency:.4f}", lookup_shipped],
-            ["presto hash join", f"{presto_latency:.4f}", presto_shipped],
+            ["pinot lookup join", f"{lookup_latency:.4f}", lookup_shipped,
+             "-", "-"],
+            ["presto hash join", f"{presto_latency:.4f}", presto_shipped,
+             presto_out.stats.segments_scanned, presto_out.stats.cache_hits],
         ],
     )
     # Same totals either way.

@@ -92,14 +92,14 @@ def run_comparison():
             out = engine.execute(SQL)
         latency = time.perf_counter() - start
         results[f"pinot/{level}"] = (latency, out.stats.rows_transferred,
-                                     out.rows)
+                                     out.rows, out.stats)
     hive_engine = PrestoEngine({"metrics": HiveConnector(metastore)})
     start = time.perf_counter()
     out = None
     for __ in range(REPEATS):
         out = hive_engine.execute(SQL)
     results["hive"] = (time.perf_counter() - start,
-                       out.stats.rows_transferred, out.rows)
+                       out.stats.rows_transferred, out.rows, out.stats)
     return results
 
 
@@ -108,14 +108,21 @@ def test_pushdown_ladder(benchmark):
     base = results["pinot/none"][0]
     print_table(
         f"C10: same PrestoSQL query, {N_ROWS} rows, {REPEATS} repeats",
-        ["backend / pushdown", "latency (s)", "rows shipped", "speedup"],
+        # The scanned/pruned columns are the uniform ScanResult stats:
+        # Pinot counts segments, Hive counts files — comparable evidence of
+        # how much source data each backend actually touched (last repeat).
+        ["backend / pushdown", "latency (s)", "rows shipped",
+         "scanned", "pruned", "cache hit", "speedup"],
         [
-            [name, f"{lat:.4f}", shipped, f"{base / lat:.1f}x"]
-            for name, (lat, shipped, __) in results.items()
+            [name, f"{lat:.4f}", shipped,
+             stats.segments_scanned + stats.files_scanned,
+             stats.segments_pruned + stats.files_pruned,
+             stats.cache_hits, f"{base / lat:.1f}x"]
+            for name, (lat, shipped, __, stats) in results.items()
         ],
     )
     # Same answer everywhere.
-    answers = {name: rows for name, (__, __s, rows) in results.items()}
+    answers = {name: rows for name, (__, __s, rows, __st) in results.items()}
     reference = answers["pinot/full"]
     for name, rows in answers.items():
         assert len(rows) == len(reference)

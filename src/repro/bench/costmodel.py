@@ -22,7 +22,7 @@ regenerated rather than silently shifting the gate.
 
 from __future__ import annotations
 
-COST_MODEL_VERSION = 1
+COST_MODEL_VERSION = 2
 
 #: Virtual microseconds charged per counted operation.
 COST_US: dict[str, float] = {
@@ -44,6 +44,13 @@ COST_US: dict[str, float] = {
     "pinot.tree_build_rows": 0.5,  # star-tree node aggregation, per doc
     "pinot.tree_nodes": 0.5,
     "pinot.tree_docs": 0.5,  # star-tree leaf raw-doc scan
+    # -- pinot pruning & caching (broker scatter path) -----------------------
+    "pinot.zonemap_checks": 0.3,  # per-filter min/max comparison
+    "pinot.bloom_checks": 0.4,  # double-hash probe of the segment bloom
+    "pinot.segments_scanned": 0.05,  # scatter bookkeeping per routed segment
+    "pinot.segments_pruned": 0.05,  # bookkeeping per skipped segment
+    "pinot.cache_hits": 1.0,  # cache lookup + epoch validation
+    "pinot.cache_row_copies": 0.2,  # per cached row copied out
     # -- flink ---------------------------------------------------------------
     "flink.elements": 0.5,  # scheduler dequeue + dispatch
     "flink.batch_elements": 0.2,  # micro-batched dequeue + dispatch

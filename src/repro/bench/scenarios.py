@@ -1,6 +1,6 @@
 """Parameterized hot-path workloads for the perf harness.
 
-Four scenarios, one per hot layer of the stack:
+Five scenarios, one per hot layer of the stack:
 
 * ``kafka_produce_fetch`` — batched, keyed produce with ``acks=all``
   (replica bookkeeping on the append path) followed by paged fetches of
@@ -12,6 +12,9 @@ Four scenarios, one per hot layer of the stack:
   columnar segments, then a mixed query workload (inverted-index filter,
   group-by aggregation, selection scan) through the broker: the OLAP
   ingest and query-evaluation hot paths.
+* ``pinot_selective_query`` — selective point/range queries over a table
+  with many sealed segments, partition keying, blooms and a time column:
+  the broker's segment-pruning and result-cache hot path.
 * ``presto_scan`` — PrestoSQL over the Pinot connector at predicate-only
   pushdown, so rows ship into the engine's row loop: the federated scan
   hot path.
@@ -252,6 +255,130 @@ def pinot_ingest_query(params: dict, seed: int, probe) -> Outcome:
     return Outcome(records=n, sim_s=clock.now(), check=_digest(checks))
 
 
+def pinot_selective_query(params: dict, seed: int, probe) -> Outcome:
+    """Selective queries over many segments: the pruning + cache hot path.
+
+    A keyed-by-city stream lands in a table that declares its partition
+    column, blooms its high-cardinality ``ride_id`` and has a monotonic
+    time column, so every sealed segment carries pruning metadata.  The
+    workload then repeats a small set of *selective* queries — point
+    lookups by ride id, a partition-scoped recency window, a narrow time
+    window — across rounds.  With ``pruning``/``cache`` enabled (the
+    registered configuration) the first round scans a handful of segments
+    and later rounds are epoch-validated cache hits; the ablation (both
+    off, exercised by the bench tests) full-scans every segment every
+    round.
+    """
+    from repro.kafka.cluster import KafkaCluster, TopicConfig
+    from repro.kafka.producer import Producer
+    from repro.metadata.schema import Field, FieldRole, FieldType, Schema
+    from repro.pinot.broker import PinotBroker
+    from repro.pinot.controller import PinotController
+    from repro.pinot.query import Aggregation, Filter, PinotQuery
+    from repro.pinot.recovery import PeerToPeerBackup
+    from repro.pinot.segment import IndexConfig
+    from repro.pinot.server import PinotServer
+    from repro.pinot.table import TableConfig
+    from repro.storage.blobstore import BlobStore
+
+    n = params["records"]
+    clock = SimulatedClock()
+    kafka = KafkaCluster("bench", 3, clock=clock)
+    kafka.create_topic("rides", TopicConfig(partitions=4))
+    producer = Producer(kafka, "bench", clock=clock)
+    rng = seeded_rng(seed, "bench.pinot.selective")
+    schema = Schema(
+        "rides",
+        (
+            Field("city", FieldType.STRING),
+            Field("ride_id", FieldType.STRING),
+            Field("amount", FieldType.DOUBLE, FieldRole.METRIC),
+            Field("ts", FieldType.DOUBLE, FieldRole.TIME),
+        ),
+    )
+    cities = [f"city-{i}" for i in range(params["keys"])]
+    for i in range(n):
+        clock.advance(0.001)
+        row = {
+            "city": cities[rng.randrange(params["keys"])],
+            "ride_id": f"ride-{i:08d}",
+            "amount": float(rng.randrange(100)),
+            "ts": clock.now(),
+        }
+        producer.send("rides", row, key=row["city"])
+    producer.flush()
+    controller = PinotController(
+        [PinotServer(f"s{i}") for i in range(3)],
+        PeerToPeerBackup(BlobStore()),
+    )
+    state = controller.create_realtime_table(
+        TableConfig(
+            "rides",
+            schema,
+            time_column="ts",
+            index_config=IndexConfig(bloom_filtered=frozenset({"ride_id"})),
+            segment_rows_threshold=params["segment_rows"],
+            partition_column="city",
+        ),
+        kafka,
+        "rides",
+    )
+    while True:
+        with probe.op():
+            state.ingestion.run_step()
+        controller.backup.run_step()
+        if state.ingestion.lag() == 0 and not any(
+            s.blocked() for s in state.ingestion.partitions.values()
+        ):
+            break
+    broker = PinotBroker(
+        controller,
+        clock=clock,
+        enable_pruning=params.get("pruning", True),
+        enable_cache=params.get("cache", True),
+    )
+    span = n * 0.001  # ts covers (0, span]
+    lookup_ids = sorted(f"ride-{rng.randrange(n):08d}" for __ in range(3))
+    queries = [
+        # Point lookups: the bloom filter proves absence per segment.
+        *(
+            PinotQuery(
+                table="rides",
+                select_columns=["city", "amount", "ts"],
+                filters=[Filter("ride_id", "=", ride)],
+            )
+            for ride in lookup_ids
+        ),
+        # Partition-scoped recency: partition pruning (city is the stream
+        # key) plus the time zone map cut the scatter down to the newest
+        # segments of one partition.
+        PinotQuery(
+            table="rides",
+            aggregations=[Aggregation("COUNT"), Aggregation("SUM", "amount")],
+            filters=[
+                Filter("city", "=", cities[3]),
+                Filter("ts", "BETWEEN", low=span * 0.9, high=span),
+            ],
+        ),
+        # Narrow global time window: ts is monotonic, so zone maps prune
+        # every segment outside the slice.
+        PinotQuery(
+            table="rides",
+            aggregations=[Aggregation("COUNT")],
+            filters=[Filter("ts", "BETWEEN", low=span * 0.45, high=span * 0.5)],
+        ),
+    ]
+    checks = []
+    for __ in range(params["query_rounds"]):
+        for query in queries:
+            with probe.op():
+                result = broker.execute(query)
+            checks.append(
+                sorted(tuple(sorted(row.items())) for row in result.rows)
+            )
+    return Outcome(records=n, sim_s=clock.now(), check=_digest(checks))
+
+
 # -- presto --------------------------------------------------------------------
 
 
@@ -333,6 +460,30 @@ SCENARIOS: tuple[ScenarioSpec, ...] = (
             "keys": 20,
             "segment_rows": 250,
             "query_rounds": 4,
+        },
+    ),
+    ScenarioSpec(
+        name="pinot_selective_query",
+        fn=pinot_selective_query,
+        # Same mode-invariance recipe as pinot_ingest_query: query_rounds
+        # and the records:segment_rows ratio (segments per partition) are
+        # fixed across modes, so per-record virtual cost — and rps — is
+        # comparable between CI's --quick run and the full baseline.
+        full_params={
+            "records": 12_000,
+            "keys": 16,
+            "segment_rows": 1_000,
+            "query_rounds": 4,
+            "pruning": True,
+            "cache": True,
+        },
+        quick_params={
+            "records": 3_000,
+            "keys": 16,
+            "segment_rows": 250,
+            "query_rounds": 4,
+            "pruning": True,
+            "cache": True,
         },
     ),
     ScenarioSpec(

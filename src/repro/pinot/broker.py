@@ -4,20 +4,44 @@
 distributed segments in parallel, and then the plan results are aggregated
 and merged into a final one."
 
+Two query-side optimizations ride on the scatter (the paper's Table 1
+latency/cost edge: touch as little irrelevant data as possible):
+
+* **Cross-segment pruning** — before fanning out, segments whose commit-time
+  zone maps / bloom filters prove they cannot match the query's filters are
+  dropped from the scatter, and an equality predicate on the table's
+  partition column restricts the scatter to the partitions the producer's
+  hash partitioner could have placed the value on.  Pruning is order
+  preserving: surviving segments keep exactly the subquery grouping and
+  ordering an unpruned scatter would give them, so results are
+  byte-identical to an unpruned run.
+
+* **Result caching** — keyed on (normalized query, table segment epoch).
+  The epoch advances on every data mutation (row ingested, segment
+  sealed/loaded/dropped, upsert applied), so a hit is provably fresh and
+  invalidation never depends on wall-clock TTLs (which would be
+  non-deterministic under the simulated clock, and stale besides).
+
 For upsert tables the broker applies the Section 4.3.1 routing strategy:
-all segments of one input partition go to the partition's owning server in
-a single subquery, so the server's local valid-doc-id sets keep the result
-consistent (a key's stale versions are skipped wherever they live).
+all *surviving* segments of one input partition still go to the partition's
+owning server in a single subquery, so the server's local valid-doc-id sets
+keep the result consistent (a key's stale versions are skipped wherever
+they live).  Pruning a whole segment is safe there too: a segment none of
+whose docs can match the filters contributes nothing whether its docs are
+valid or not.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.common.clock import Clock, SystemClock
 from repro.common.errors import PinotError, QueryError
 from repro.common.metrics import MetricsRegistry
+from repro.common.perf import PERF
+from repro.kafka.producer import hash_partitioner
 from repro.observability.trace import SpanCollector
 from repro.pinot.controller import PinotController, TableState
 from repro.pinot.query import (
@@ -27,6 +51,7 @@ from repro.pinot.query import (
     finalize_agg_state,
     merge_agg_states,
 )
+from repro.pinot.segment import ImmutableSegment
 from repro.pinot.server import PinotServer
 
 
@@ -35,9 +60,81 @@ class QueryResult:
     rows: list[dict[str, Any]]
     plans: list[SegmentPlan] = field(default_factory=list)
     servers_queried: int = 0
+    segments_scanned: int = 0
+    segments_pruned: int = 0
+    cache_hit: bool = False
 
     def docs_examined(self) -> int:
         return sum(p.docs_examined for p in self.plans)
+
+
+def normalize_query(query: PinotQuery) -> tuple | None:
+    """Canonical, hashable cache key for a query; None when the query
+    holds unhashable literals (those queries simply bypass the cache).
+
+    Filters are order-normalized — they are conjunctive, so any order
+    denotes the same query.
+    """
+    try:
+        key = (
+            query.table,
+            tuple(query.select_columns),
+            tuple((a.func, a.column) for a in query.aggregations),
+            tuple(
+                sorted(
+                    (
+                        (f.column, f.op, f.value, f.values, f.low, f.high)
+                        for f in query.filters
+                    ),
+                    key=repr,
+                )
+            ),
+            tuple(query.group_by),
+            tuple(query.order_by),
+            query.limit,
+        )
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
+class BrokerResultCache:
+    """Per-table LRU of finished query results, validated by epoch.
+
+    An entry is served only while the table's epoch still equals the epoch
+    it was computed at; the first read after any mutation discards it.
+    """
+
+    def __init__(self, capacity_per_table: int = 128) -> None:
+        self.capacity_per_table = capacity_per_table
+        self._tables: dict[str, OrderedDict[tuple, tuple[int, list[dict]]]] = {}
+        self.invalidations = 0
+
+    def get(self, table: str, key: tuple, epoch: int) -> list[dict] | None:
+        entries = self._tables.get(table)
+        if entries is None:
+            return None
+        entry = entries.get(key)
+        if entry is None:
+            return None
+        cached_epoch, rows = entry
+        if cached_epoch != epoch:
+            del entries[key]
+            self.invalidations += 1
+            return None
+        entries.move_to_end(key)
+        return rows
+
+    def put(self, table: str, key: tuple, epoch: int, rows: list[dict]) -> None:
+        entries = self._tables.setdefault(table, OrderedDict())
+        entries[key] = (epoch, rows)
+        entries.move_to_end(key)
+        while len(entries) > self.capacity_per_table:
+            entries.popitem(last=False)
+
+    def entry_count(self) -> int:
+        return sum(len(entries) for entries in self._tables.values())
 
 
 class PinotBroker:
@@ -47,28 +144,56 @@ class PinotBroker:
         clock: Clock | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: SpanCollector | None = None,
+        enable_pruning: bool = True,
+        enable_cache: bool = True,
+        cache_capacity_per_table: int = 128,
     ) -> None:
         self.controller = controller
         self.clock = clock or SystemClock()
         self.tracer = tracer
         self.metrics = metrics or MetricsRegistry("pinot.broker")
+        self.enable_pruning = enable_pruning
+        self.enable_cache = enable_cache
+        self.cache = BrokerResultCache(cache_capacity_per_table)
 
     def execute(self, query: PinotQuery) -> QueryResult:
         start = self.clock.now() if self.tracer is not None else 0.0
         state = self.controller.table(query.table)
-        subqueries = self._route(state)
+        epoch = state.epoch
+        cache_key = normalize_query(query) if self.enable_cache else None
+        if cache_key is not None:
+            cached = self.cache.get(query.table, cache_key, epoch)
+            if cached is not None:
+                return self._serve_cached(query, cached, start)
+            self.metrics.counter("cache_misses").inc()
+        subqueries, pruned = self._route(state, query)
         partials: list[PartialResult] = []
         servers = 0
+        scanned = 0
         for server, segment_names, upsert_partition in subqueries:
             if not segment_names:
                 continue
             servers += 1
+            scanned += len(segment_names)
             partials.extend(
                 server.execute(query, segment_names, upsert_partition)
             )
         self.metrics.counter("queries").inc()
+        self.metrics.counter("segments_scanned").inc(scanned)
+        self.metrics.counter("segments_pruned").inc(pruned)
+        if PERF.enabled:
+            PERF.inc("pinot.segments_scanned", scanned)
+            if pruned:
+                PERF.inc("pinot.segments_pruned", pruned)
         result = self._merge(query, partials)
         result.servers_queried = servers
+        result.segments_scanned = scanned
+        result.segments_pruned = pruned
+        if cache_key is not None:
+            # Store a private copy: callers may mutate the returned rows.
+            self.cache.put(
+                query.table, cache_key, epoch, [dict(r) for r in result.rows]
+            )
         if self.tracer is not None:
             self.tracer.record_table_query(
                 query.table,
@@ -76,26 +201,77 @@ class PinotBroker:
                 start=start,
                 end=self.clock.now(),
                 servers=servers,
+                segments_scanned=scanned,
+                segments_pruned=pruned,
+                cache_hit=False,
+            )
+        return result
+
+    def _serve_cached(
+        self, query: PinotQuery, rows: list[dict], start: float
+    ) -> QueryResult:
+        self.metrics.counter("queries").inc()
+        self.metrics.counter("cache_hits").inc()
+        if PERF.enabled:
+            PERF.inc("pinot.cache_hits")
+            PERF.inc("pinot.cache_row_copies", len(rows))
+        result = QueryResult(rows=[dict(r) for r in rows], cache_hit=True)
+        if self.tracer is not None:
+            self.tracer.record_table_query(
+                query.table,
+                "pinot",
+                start=start,
+                end=self.clock.now(),
+                servers=0,
+                segments_scanned=0,
+                segments_pruned=0,
+                cache_hit=True,
             )
         return result
 
     # -- routing -------------------------------------------------------------
 
     def _route(
-        self, state: TableState
-    ) -> list[tuple[PinotServer, list[str], int | None]]:
-        """Subqueries as (server, segments, upsert_partition?)."""
+        self, state: TableState, query: PinotQuery
+    ) -> tuple[list[tuple[PinotServer, list[str], int | None]], int]:
+        """Subqueries as (server, segments, upsert_partition?) plus the
+        number of segments pruned from the scatter.
+
+        Pruning preserves subquery grouping and ordering exactly: the
+        server order is derived from the *full* segment list, and pruned
+        segments (which contribute zero rows by proof) are only omitted
+        from the per-server name lists.  A force-unpruned run therefore
+        returns byte-identical rows.
+        """
         out: list[tuple[PinotServer, list[str], int | None]] = []
+        pruned = 0
+        filters = query.filters if self.enable_pruning else []
+        allowed_partitions = self._partition_candidates(state, filters)
         upsert = state.config.upsert_enabled
         for partition, pstate in state.ingestion.partitions.items():
             segment_names = state.ingestion.segments_of_partition(partition)
+            if (
+                allowed_partitions is not None
+                and partition not in allowed_partitions
+            ):
+                # The partition key cannot hash here: no segment of this
+                # partition (consuming included) can hold a matching row.
+                pruned += len(segment_names)
+                continue
             if upsert:
                 owner = state.owners[partition]
                 if not owner.alive:
                     raise PinotError(
                         f"upsert partition {partition} owner {owner.name} is down"
                     )
-                out.append((owner, segment_names, partition))
+                names = []
+                for name in segment_names:
+                    if self._prunable(owner.segments.get(name), filters):
+                        pruned += 1
+                        continue
+                    names.append(name)
+                if names:
+                    out.append((owner, names, partition))
                 continue
             # Non-upsert: sealed segments may be served by any live replica;
             # the consuming segment only lives on the owner.
@@ -107,20 +283,78 @@ class PinotBroker:
                 )
                 if host is None:
                     raise PinotError(f"no live replica hosts segment {name!r}")
-                per_server.setdefault(host.name, []).append(name)
+                # Establish the server's slot even when the segment prunes,
+                # so subquery order never depends on pruning decisions.
+                names = per_server.setdefault(host.name, [])
+                if self._prunable(host.segments.get(name), filters):
+                    pruned += 1
+                    continue
+                names.append(name)
             if state.owners[partition].alive:
                 per_server.setdefault(state.owners[partition].name, []).append(
                     pstate.consuming.name
                 )
             for server_name, names in per_server.items():
+                if not names:
+                    continue
                 server = next(s for s in self.controller.servers if s.name == server_name)
                 out.append((server, names, None))
         for segment_name, hosts in state.offline_segments.items():
             host = next((s for s in hosts if s.alive), None)
             if host is None:
                 raise PinotError(f"no live host for offline segment {segment_name!r}")
+            segment = host.segments.get(segment_name)
+            if (
+                allowed_partitions is not None
+                and isinstance(segment, ImmutableSegment)
+                and segment.partition_id is not None
+                and segment.partition_id not in allowed_partitions
+            ) or self._prunable(segment, filters):
+                pruned += 1
+                continue
             out.append((host, [segment_name], None))
-        return out
+        return out, pruned
+
+    @staticmethod
+    def _prunable(segment, filters) -> bool:
+        """Sealed segments prune on zone maps / blooms; consuming
+        (mutable) segments have no commit-time metadata and always scan."""
+        return (
+            bool(filters)
+            and isinstance(segment, ImmutableSegment)
+            and not segment.may_match(filters)
+        )
+
+    def _partition_candidates(
+        self, state: TableState, filters
+    ) -> set[int] | None:
+        """Partitions an equality/IN predicate on the partition column can
+        reach, via the same hash the producer partitioned the stream with.
+        None means "no partition constraint"."""
+        column = state.config.partition_column
+        if column is None or not filters:
+            return None
+        num_partitions = len(state.ingestion.partitions)
+        allowed: set[int] | None = None
+        for flt in filters:
+            if flt.column != column:
+                continue
+            if flt.op == "=":
+                literals = (flt.value,)
+            elif flt.op == "IN":
+                literals = flt.values
+            else:
+                continue
+            try:
+                reachable = {
+                    hash_partitioner(v, num_partitions)
+                    for v in literals
+                    if v is not None
+                }
+            except Exception:
+                continue  # unencodable literal: no partition constraint
+            allowed = reachable if allowed is None else (allowed & reachable)
+        return allowed
 
     # -- merging -----------------------------------------------------------------
 

@@ -31,6 +31,11 @@ class TableState:
     # segment plus the servers currently hosting it.
     offline_segments: dict[str, list[PinotServer]] = field(default_factory=dict)
 
+    @property
+    def epoch(self) -> int:
+        """Data version of the table; the broker cache's freshness key."""
+        return self.ingestion.epoch.value
+
 
 class PinotController:
     def __init__(
@@ -91,6 +96,32 @@ class PinotController:
             server.host_segment(segment)
         state.offline_segments[segment.name] = hosts
         self.backup.request_backup(table, segment)
+        state.ingestion.epoch.bump()
+
+    def drop_segment(self, table: str, name: str) -> None:
+        """Drop a sealed or offline segment (retention): unhost it, forget
+        its upsert locations, and bump the epoch so cached results die."""
+        state = self.table(table)
+        if name in state.offline_segments:
+            for server in state.offline_segments.pop(name):
+                server.drop_segment(name)
+            state.ingestion.epoch.bump()
+            return
+        for partition, pstate in state.ingestion.partitions.items():
+            if name not in pstate.sealed_segments:
+                continue
+            pstate.sealed_segments.remove(name)
+            for server in [state.owners[partition]] + state.replicas[partition]:
+                server.drop_segment(name)
+            if state.config.upsert_enabled:
+                manager = state.owners[partition].upsert_managers.get(
+                    (table, partition)
+                )
+                if manager is not None:
+                    manager.drop_segment(name)
+            state.ingestion.epoch.bump()
+            return
+        raise PinotError(f"table {table!r} has no segment {name!r}")
 
     # -- failure handling -----------------------------------------------------
 
@@ -152,6 +183,9 @@ class PinotController:
 
         pstate = state.ingestion.partitions[partition]
         pstate.owner = new_owner
+        # The old consuming rows vanish until re-consumed from Kafka:
+        # results cached before the failure are no longer reproducible.
+        state.ingestion.epoch.bump()
         pstate.consuming = MutableSegment(
             segment_name(state.config.name, partition, pstate.sequence),
             partition,

@@ -1,20 +1,24 @@
-"""Per-column segment indexes: inverted, sorted, range (Section 4.3).
+"""Per-column segment indexes: inverted, sorted, range, bloom (Section 4.3).
 
 Pinot "supports a number of fast indexing techniques, such as inverted,
 range, sorted and startree index, to answer the low-latency OLAP
-queries."  These are the three value-level ones; the star-tree lives in
+queries."  These are the value-level ones; the star-tree lives in
 :mod:`repro.pinot.startree`.
 
-All indexes answer with sorted lists of doc ids, which the query executor
-intersects.  The Druid-style baseline (C4) runs the same queries with the
-indexes disabled.
+Doc-level indexes answer with sorted lists of doc ids, which the query
+executor intersects.  The Druid-style baseline (C4) runs the same queries
+with the indexes disabled.  The :class:`BloomFilter` is segment-level: it
+answers "might this segment contain value v at all", which the broker
+uses to prune whole segments from the scatter before fanning out.
 """
 
 from __future__ import annotations
 
+import hashlib
 from bisect import bisect_left, bisect_right
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
+from repro.common import serde
 from repro.common.errors import QueryError
 
 
@@ -40,6 +44,131 @@ def union_sorted(lists: list[list[int]]) -> list[int]:
     for docs in lists:
         seen.update(docs)
     return sorted(seen)
+
+
+def _bloom_key(value: Any) -> bytes | None:
+    """Canonical bytes for a value, equality-compatible across types.
+
+    ``5 == 5.0 == True`` under Python equality, so numerics (bools
+    included) hash through one float representation — otherwise a float
+    literal in a query could miss an int stored in the column and cause a
+    *false negative*, which for a pruning filter means wrong results.
+    Collisions only ever add false positives, which are safe.  Returns
+    None for values with no stable canonical encoding (the filter then
+    refuses to rule the segment out rather than risk instability across
+    processes).
+    """
+    if isinstance(value, (bool, int, float)):
+        try:
+            return serde.encode(["n", float(value)])
+        except OverflowError:  # int too large for a float: exact encoding
+            return serde.encode(["i", value])
+    try:
+        return serde.encode([type(value).__name__, value])
+    except Exception:
+        return None
+
+
+class BloomFilter:
+    """Segment-level membership sketch over a column's distinct values.
+
+    Deterministic double hashing (blake2b split into two 64-bit halves)
+    over the canonical serde encoding, so the bit pattern — and therefore
+    every pruning decision — is byte-identical across runs and machines
+    (Python's ``hash()`` is randomized; never use it here).
+    """
+
+    def __init__(
+        self,
+        num_bits: int,
+        num_hashes: int,
+        bits: bytes | None = None,
+        opaque: bool = False,
+    ) -> None:
+        if num_bits < 8 or num_hashes < 1:
+            raise QueryError(
+                f"bloom filter needs >=8 bits and >=1 hash, got "
+                f"{num_bits}/{num_hashes}"
+            )
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        # A value with no canonical encoding was inserted: the filter can
+        # no longer prove absence of anything.
+        self.opaque = opaque
+        self._bits = bytearray(bits) if bits is not None else bytearray(
+            (num_bits + 7) // 8
+        )
+
+    @classmethod
+    def build(cls, values: Iterable[Any], bits_per_value: int = 10) -> "BloomFilter":
+        """Size the filter for the distinct values and insert them all
+        (built once, at segment commit time)."""
+        distinct = list(values)
+        num_bits = max(64, len(distinct) * bits_per_value)
+        num_hashes = max(1, (bits_per_value * 7) // 10)  # ~0.7 * bits/value
+        bloom = cls(num_bits, num_hashes)
+        for value in distinct:
+            bloom.add(value)
+        return bloom
+
+    def _positions(self, key: bytes) -> list[int]:
+        digest = hashlib.blake2b(key, digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1  # odd => full cycle
+        return [(h1 + i * h2) % self.num_bits for i in range(self.num_hashes)]
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return  # NULL never matches a filter, so it never needs a bit
+        key = _bloom_key(value)
+        if key is None:
+            self.opaque = True
+            return
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+
+    def might_contain(self, value: Any) -> bool:
+        """False means *definitely absent*; True means "cannot rule out"."""
+        if value is None:
+            return False
+        if self.opaque:
+            return True
+        key = _bloom_key(value)
+        if key is None:
+            return True
+        return all(
+            self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key)
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        """Serializable form for segment metadata."""
+        return {
+            "num_bits": self.num_bits,
+            "num_hashes": self.num_hashes,
+            "bits": bytes(self._bits),
+            "opaque": self.opaque,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "BloomFilter":
+        return cls(
+            payload["num_bits"],
+            payload["num_hashes"],
+            payload["bits"],
+            opaque=payload.get("opaque", False),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BloomFilter)
+            and self.num_bits == other.num_bits
+            and self.num_hashes == other.num_hashes
+            and self.opaque == other.opaque
+            and self._bits == other._bits
+        )
+
+    def disk_bytes(self) -> int:
+        return len(self._bits)
 
 
 class InvertedIndex:

@@ -33,6 +33,27 @@ def segment_name(table: str, partition: int, sequence: int) -> str:
     return f"{table}__{partition}__{sequence}"
 
 
+class TableEpoch:
+    """Monotonic per-table data-version counter.
+
+    Bumped on every mutation that can change query results: a row landing
+    in a consuming segment (which also covers upserts — they ride in on
+    rows), a segment sealing, an offline segment load, a segment drop, a
+    consuming segment being restarted on recovery.  The broker's result
+    cache is keyed on it, so cached results are invalidated exactly when
+    freshness demands — never by wall-clock TTL, which would be both wrong
+    (stale until expiry) and non-deterministic under the simulated clock.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def bump(self, amount: int = 1) -> None:
+        self.value += amount
+
+
 @dataclass
 class _PartitionState:
     partition: int
@@ -68,6 +89,7 @@ class RealtimeIngestion:
         self.backup = backup
         self.tracer = tracer
         self.metrics = metrics or MetricsRegistry(f"pinot.ingest.{config.name}")
+        self.epoch = TableEpoch()
         self.partitions: dict[int, _PartitionState] = {}
         for partition in range(kafka.partition_count(topic)):
             if partition not in owners:
@@ -119,6 +141,9 @@ class RealtimeIngestion:
                 doc_id = state.consuming.append(row)
                 state.position = entry.offset + 1
                 ingested += 1
+                # The row is queryable from this instant: cached results
+                # for this table are stale now.
+                self.epoch.bump()
                 if self.tracer is not None:
                     ctx = TraceContext.from_record(entry.record)
                     if ctx is not None:
@@ -190,6 +215,10 @@ class RealtimeIngestion:
         )
         state.owner.host_segment(state.consuming)
         self.metrics.counter("segments_sealed").inc()
+        # Sealing changes the segment set (and builds new pruning
+        # metadata); routing/pruning decisions cached against the old
+        # epoch must not survive it.
+        self.epoch.bump()
 
     # -- introspection -----------------------------------------------------------
 

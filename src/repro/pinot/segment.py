@@ -20,7 +20,7 @@ from repro.common import serde
 from repro.common.errors import SegmentError
 from repro.common.memory import deep_sizeof
 from repro.common.perf import PERF
-from repro.pinot.indexes import InvertedIndex, RangeIndex, SortedIndex
+from repro.pinot.indexes import BloomFilter, InvertedIndex, RangeIndex, SortedIndex
 
 
 @dataclass(frozen=True)
@@ -30,6 +30,74 @@ class IndexConfig:
     inverted: frozenset[str] = frozenset()
     range_indexed: frozenset[str] = frozenset()
     sort_column: str | None = None
+    # Columns carrying a segment-level bloom filter (equality pruning on
+    # high-cardinality columns; zone maps are built for every column).
+    bloom_filtered: frozenset[str] = frozenset()
+
+
+def _value_class(value: Any) -> str:
+    """Comparability class: values of one class mutually order."""
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "num"
+    return type(value).__name__
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Per-column min/max summary for cross-segment pruning.
+
+    ``comparable`` is False for mixed-type columns, whose min/max is not
+    meaningful; ``all_null`` columns match no predicate at all (filters
+    never match NULL), so the segment is always prunable on them.
+    """
+
+    min_value: Any = None
+    max_value: Any = None
+    has_null: bool = False
+    all_null: bool = False
+    comparable: bool = False
+
+    def may_match(self, op: str, value: Any = None,
+                  values: tuple = (), low: Any = None, high: Any = None) -> bool:
+        """Could *any* doc in the zone satisfy the predicate?  False is a
+        proof of absence; any doubt (types, unknown op) returns True."""
+        if self.all_null:
+            return False
+        if not self.comparable:
+            return True
+        lo, hi = self.min_value, self.max_value
+        try:
+            if op == "=":
+                return lo <= value <= hi
+            if op == "!=":
+                # Every non-null doc equals the zone's single value: no
+                # doc can differ (NULL docs never match != either).
+                return not (lo == hi == value)
+            if op == ">":
+                return hi > value
+            if op == ">=":
+                return hi >= value
+            if op == "<":
+                return lo < value
+            if op == "<=":
+                return lo <= value
+            if op == "BETWEEN":
+                return not (high < lo or low > hi)
+            if op == "IN":
+                return any(lo <= v <= hi for v in values)
+        except TypeError:
+            return True  # incomparable literal: cannot rule the zone out
+        return True  # unknown op: never prune
+
+    def to_payload(self) -> list[Any]:
+        return [self.min_value, self.max_value, self.has_null,
+                self.all_null, self.comparable]
+
+    @classmethod
+    def from_payload(cls, payload: list[Any]) -> "ZoneMap":
+        return cls(*payload)
 
 
 class BitPackedArray:
@@ -226,6 +294,61 @@ class ImmutableSegment:
             self.max_time = max(times) if times else None
         else:
             self.min_time = self.max_time = None
+        # Commit-time pruning metadata: a zone map per column (cheap — the
+        # forward dictionary is already sorted) plus blooms where configured.
+        self.zone_maps: dict[str, ZoneMap] = {
+            name: self._build_zone_map(name, raw[name]) for name in raw
+        }
+        self.blooms: dict[str, BloomFilter] = {
+            name: BloomFilter.build(self.forward[name]._dictionary)
+            for name in self.index_config.bloom_filtered
+            if name in raw
+        }
+
+    def _build_zone_map(self, name: str, raw_values: list[Any]) -> ZoneMap:
+        dictionary = self.forward[name]._dictionary
+        has_null = any(v is None for v in raw_values)
+        if not dictionary:
+            return ZoneMap(has_null=has_null, all_null=True)
+        classes = {_value_class(v) for v in dictionary}
+        if len(classes) != 1:
+            return ZoneMap(has_null=has_null)  # mixed types: not comparable
+        # The dictionary is sorted (numerics by value), so min/max are free.
+        return ZoneMap(
+            min_value=dictionary[0],
+            max_value=dictionary[-1],
+            has_null=has_null,
+            comparable=True,
+        )
+
+    # -- cross-segment pruning (broker-side) --------------------------------
+
+    def may_match(self, filters) -> bool:
+        """Could this segment hold any doc satisfying *all* filters?
+
+        Consulted by the broker before fan-out; a False verdict proves the
+        segment contributes nothing to the query, so skipping it cannot
+        change results.  Unknown columns are left to the executor (which
+        raises a proper error on scan).
+        """
+        counting = PERF.enabled
+        for flt in filters:
+            zone = self.zone_maps.get(flt.column)
+            if zone is not None:
+                if counting:
+                    PERF.inc("pinot.zonemap_checks")
+                if not zone.may_match(
+                    flt.op, flt.value, flt.values, flt.low, flt.high
+                ):
+                    return False
+            bloom = self.blooms.get(flt.column)
+            if bloom is not None and flt.op in ("=", "IN"):
+                if counting:
+                    PERF.inc("pinot.bloom_checks")
+                candidates = flt.values if flt.op == "IN" else (flt.value,)
+                if not any(bloom.might_contain(v) for v in candidates):
+                    return False
+        return True
 
     def column_names(self) -> list[str]:
         return list(self.forward)
@@ -250,6 +373,8 @@ class ImmutableSegment:
             total += inv.posting_entries() * 4  # 4-byte doc ids
         for rng in self.ranges.values():
             total += sum(len(b) for b in rng._buckets) * 4
+        for bloom in self.blooms.values():
+            total += bloom.disk_bytes()
         return total
 
     def memory_bytes(self) -> int:
@@ -258,7 +383,12 @@ class ImmutableSegment:
         )
 
     def to_bytes(self) -> bytes:
-        """Serialize for archival (segment store / peer transfer)."""
+        """Serialize for archival (segment store / peer transfer).
+
+        Pruning metadata (zone maps, blooms) travels with the segment so a
+        recovered or peer-transferred copy prunes identically without a
+        rebuild.
+        """
         payload = {
             "name": self.name,
             "time_column": self.time_column,
@@ -266,8 +396,15 @@ class ImmutableSegment:
             "sort_column": self.index_config.sort_column,
             "inverted": sorted(self.index_config.inverted),
             "range_indexed": sorted(self.index_config.range_indexed),
+            "bloom_filtered": sorted(self.index_config.bloom_filtered),
             "columns": {
                 name: fwd.materialize() for name, fwd in self.forward.items()
+            },
+            "zone_maps": {
+                name: zone.to_payload() for name, zone in self.zone_maps.items()
+            },
+            "blooms": {
+                name: bloom.to_payload() for name, bloom in self.blooms.items()
             },
         }
         return serde.encode(payload)
@@ -275,17 +412,31 @@ class ImmutableSegment:
     @classmethod
     def from_bytes(cls, data: bytes) -> "ImmutableSegment":
         payload = serde.decode(data)
-        return cls(
+        segment = cls(
             name=payload["name"],
             columns=payload["columns"],
             index_config=IndexConfig(
                 inverted=frozenset(payload["inverted"]),
                 range_indexed=frozenset(payload["range_indexed"]),
                 sort_column=payload["sort_column"],
+                bloom_filtered=frozenset(payload.get("bloom_filtered", ())),
             ),
             time_column=payload["time_column"],
             partition_id=payload["partition_id"],
         )
+        # Adopt the persisted pruning metadata (identical to the rebuild by
+        # construction; adopting it exercises the serialized form).
+        if "zone_maps" in payload:
+            segment.zone_maps = {
+                name: ZoneMap.from_payload(p)
+                for name, p in payload["zone_maps"].items()
+            }
+        if "blooms" in payload:
+            segment.blooms = {
+                name: BloomFilter.from_payload(p)
+                for name, p in payload["blooms"].items()
+            }
+        return segment
 
 
 @dataclass

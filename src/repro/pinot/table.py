@@ -27,8 +27,23 @@ class TableConfig:
     primary_key: str | None = None
     replicas: int = 2
     segment_rows_threshold: int = 1000
+    # The column the input stream is keyed by (the producer's hash
+    # partitioner ran over it).  Declaring it lets the broker prune whole
+    # partitions on equality predicates; only declare it when every
+    # producer of the topic really keys by this column.  Upsert tables are
+    # keyed by their primary key by design, so it defaults there.
+    partition_column: str | None = None
 
     def __post_init__(self) -> None:
+        if self.upsert_enabled and self.partition_column is None:
+            self.partition_column = self.primary_key
+        if self.partition_column is not None and not self.schema.has_field(
+            self.partition_column
+        ):
+            raise PinotError(
+                f"table {self.name!r}: partition column "
+                f"{self.partition_column!r} is not a schema field"
+            )
         if self.upsert_enabled:
             if self.primary_key is None:
                 raise PinotError(

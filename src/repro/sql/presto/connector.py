@@ -62,6 +62,16 @@ class ScanResult:
     aggregated: bool = False  # rows are final aggregation results
     source_rows_examined: int = 0  # work done inside the source system
     rows_transferred: int = 0  # rows shipped source -> Presto worker
+    # Uniform per-scan pruning/caching stats so benches over different
+    # connectors report comparable numbers.  Pinot scans fill the segment
+    # and server fields, Hive scans the file fields; a source that prunes
+    # nothing reports zeros.
+    servers_queried: int = 0
+    segments_scanned: int = 0
+    segments_pruned: int = 0
+    files_scanned: int = 0
+    files_pruned: int = 0
+    cache_hit: bool = False
 
 
 class Connector(Protocol):
@@ -125,6 +135,10 @@ class PinotConnector:
                 aggregated=True,
                 source_rows_examined=result.docs_examined(),
                 rows_transferred=len(rows),
+                servers_queried=result.servers_queried,
+                segments_scanned=result.segments_scanned,
+                segments_pruned=result.segments_pruned,
+                cache_hit=result.cache_hit,
             )
         columns = request.columns if "projection" in caps else None
         limit = request.limit if "limit" in caps and not request.aggregations else None
@@ -141,6 +155,10 @@ class PinotConnector:
             aggregated=False,
             source_rows_examined=result.docs_examined(),
             rows_transferred=len(result.rows),
+            servers_queried=result.servers_queried,
+            segments_scanned=result.segments_scanned,
+            segments_pruned=result.segments_pruned,
+            cache_hit=result.cache_hit,
         )
 
     @staticmethod
@@ -181,19 +199,23 @@ class HiveConnector:
         table = self.metastore.table(request.table)
         rows: list[dict[str, Any]]
         examined = 0
+        files_pruned = 0
         if len(request.filters) == 1 and request.filters[0].op in (
             "=", ">", ">=", "<", "<=",
         ):
             flt = request.filters[0]
-            rows, scanned, __ = table.scan_with_pruning(
+            rows, files_scanned, files_pruned = table.scan_with_pruning(
                 flt.column, flt.op, flt.value, columns=request.columns
             )
-            examined = scanned
+            examined = files_scanned
             filters_applied = True
         else:
             predicate = _compound_predicate(request.filters)
             rows = list(table.scan(columns=request.columns, predicate=predicate))
             examined = table.row_count()
+            files_scanned = sum(
+                len(table.partition(pkey).file_keys) for pkey in table.partitions()
+            )
             filters_applied = bool(request.filters)
         return ScanResult(
             rows=rows,
@@ -201,6 +223,8 @@ class HiveConnector:
             aggregated=False,
             source_rows_examined=examined,
             rows_transferred=len(rows),
+            files_scanned=files_scanned,
+            files_pruned=files_pruned,
         )
 
 

@@ -49,6 +49,38 @@ class QueryStats:
     joined_rows: int = 0
     connectors_used: list[str] = field(default_factory=list)
     tables_scanned: list[str] = field(default_factory=list)
+    # Uniform pruning/caching evidence, summed over every scan the query
+    # performed (Pinot scans fill the segment/server fields, Hive scans
+    # the file fields).
+    servers_queried: int = 0
+    segments_scanned: int = 0
+    segments_pruned: int = 0
+    files_scanned: int = 0
+    files_pruned: int = 0
+    cache_hits: int = 0
+
+    def absorb_scan(self, result) -> None:
+        """Fold one connector ScanResult into the totals."""
+        self.rows_transferred += result.rows_transferred
+        self.source_rows_examined += result.source_rows_examined
+        self.servers_queried += result.servers_queried
+        self.segments_scanned += result.segments_scanned
+        self.segments_pruned += result.segments_pruned
+        self.files_scanned += result.files_scanned
+        self.files_pruned += result.files_pruned
+        self.cache_hits += 1 if result.cache_hit else 0
+
+    def absorb(self, inner: "QueryStats") -> None:
+        """Fold a subquery's stats into the totals."""
+        self.rows_transferred += inner.rows_transferred
+        self.source_rows_examined += inner.source_rows_examined
+        self.tables_scanned.extend(inner.tables_scanned)
+        self.servers_queried += inner.servers_queried
+        self.segments_scanned += inner.segments_scanned
+        self.segments_pruned += inner.segments_pruned
+        self.files_scanned += inner.files_scanned
+        self.files_pruned += inner.files_pruned
+        self.cache_hits += inner.cache_hits
 
 
 @dataclass
@@ -107,9 +139,7 @@ class PrestoEngine:
         source = select.source
         if isinstance(source, SubqueryRef):
             inner = self._execute_select(source.select)
-            stats.rows_transferred += inner.stats.rows_transferred
-            stats.source_rows_examined += inner.stats.source_rows_examined
-            stats.tables_scanned.extend(inner.stats.tables_scanned)
+            stats.absorb(inner.stats)
             rows = inner.rows
             return self._apply_residual(select, rows, stats, joined=False)
         connector = self._connector_for(source.name)
@@ -144,8 +174,7 @@ class PrestoEngine:
             limit=select.limit,
         )
         result = connector.scan(request)
-        stats.rows_transferred += result.rows_transferred
-        stats.source_rows_examined += result.source_rows_examined
+        stats.absorb_scan(result)
         stats.pushed_filters += len(push_filters) if result.filters_applied else 0
         stats.pushed_aggregation = result.aggregated
         rows = result.rows
@@ -197,9 +226,7 @@ class PrestoEngine:
     def _scan_for_join(self, table_source, select: Select, stats: QueryStats):
         if isinstance(table_source, SubqueryRef):
             inner = self._execute_select(table_source.select)
-            stats.rows_transferred += inner.stats.rows_transferred
-            stats.source_rows_examined += inner.stats.source_rows_examined
-            stats.tables_scanned.extend(inner.stats.tables_scanned)
+            stats.absorb(inner.stats)
             return table_source.alias, inner.rows
         alias = table_source.alias or table_source.name
         connector = self._connector_for(table_source.name)
@@ -221,8 +248,7 @@ class PrestoEngine:
             filters=[_to_pushed(_strip_qualifier(c)) for c in mine],
         )
         result = connector.scan(request)
-        stats.rows_transferred += result.rows_transferred
-        stats.source_rows_examined += result.source_rows_examined
+        stats.absorb_scan(result)
         if result.filters_applied:
             stats.pushed_filters += len(mine)
         return alias, result.rows
