@@ -12,6 +12,8 @@ close enough to Avro-with-embedded-reader-schema for footprint purposes.
 
 from __future__ import annotations
 
+import math
+import numbers
 import struct
 from typing import Any
 
@@ -108,6 +110,88 @@ def encode(value: Any) -> bytes:
     out = bytearray()
     _encode_into(out, value)
     return bytes(out)
+
+
+def canonical_key(value: Any) -> Any:
+    """Equality-canonical form of a value, for hashing/fingerprinting.
+
+    :func:`encode` is type-sensitive (``5``, ``5.0`` and ``True`` all encode
+    differently) while Python ``==`` is not (``5 == 5.0 == True``), so any
+    hash over raw encodings disagrees with filter/equality semantics.  This
+    maps values to a form where ``a == b`` implies
+    ``encode(canonical_key(a)) == encode(canonical_key(b))``:
+
+    * numbers — bool/int/float, and exotic ``numbers.Number`` types
+      (Decimal, Fraction, zero-imaginary complex) should one ever appear —
+      coerce through one float representation ``["n", float(v)]``; integers
+      beyond float range fall back to an exact ``["i", int(v)]`` encoding
+      (no float can equal such an integer, so the branches never disagree
+      about equal values);
+    * lists/tuples recurse element-wise (``(1,) == (1.0,)``); dicts recurse
+      value-wise with entries sorted by key (``{'a': 1, 'b': 2} ==
+      {'b': 2, 'a': 1}``);
+    * everything else (str, bytes, None) is already type-distinct under
+      ``==`` and passes through unchanged.
+
+    Every canonical form is tagged (``"n"``/``"i"``/``"c"`` for numbers,
+    ``"l"``/``"m"`` for containers) and numerics are always wrapped, so a
+    literal list like ``["n", 5.0]`` (which canonicalizes to
+    ``["l", ["n", ["n", 5.0]]]``) cannot collide with the numeric ``5.0``.
+    Distinct values may still share a canonical form
+    (float rounding of exotic Reals); for hashing that only adds
+    collisions / bloom false positives, never a missed match.
+
+    Values with no canonical form (unencodable objects, NaN-like Decimals)
+    are returned unchanged so :func:`encode` raises the same error it
+    always did; callers that must not fail catch it and treat the value as
+    "cannot rule anything out".
+    """
+    if isinstance(value, numbers.Number):
+        if isinstance(value, numbers.Complex) and not isinstance(
+            value, numbers.Real
+        ):
+            if value.imag != 0:
+                return ["c", float(value.real), float(value.imag)]
+            value = value.real
+        try:
+            coerced = float(value)
+        except (OverflowError, ValueError):
+            coerced = None  # beyond float range, or NaN-like Decimal
+        if coerced is not None:
+            if math.isfinite(coerced):
+                return ["n", coerced]
+            # Coercion can *round* to ±inf rather than raise (Decimal
+            # converts via str, so float(Decimal("1e400")) == inf while
+            # float(10**400) raises).  Only keep an infinite float for a
+            # genuinely infinite value; finite ones take the exact path.
+            try:
+                if value == coerced:
+                    return ["n", coerced]
+            except Exception:
+                pass
+        try:
+            return ["i", int(value)]
+        except (OverflowError, ValueError, TypeError):
+            return value
+    if isinstance(value, (list, tuple)):
+        return ["l", [canonical_key(item) for item in value]]
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value):
+            return ["m", [[k, canonical_key(v)] for k, v in sorted(value.items())]]
+        return value  # encode() rejects non-str map keys, as before
+    return value
+
+
+def encode_key(value: Any) -> bytes:
+    """Canonical bytes for a value, equality-compatible across types.
+
+    The single fingerprinting primitive shared by the producer's hash
+    partitioner and the segment bloom filters: both must agree with the
+    query executor's Python ``==`` (``col = 5.0`` must reach rows keyed
+    with int ``5``), and they must agree with *each other* so broker-side
+    partition pruning provably matches producer-side placement.
+    """
+    return encode(canonical_key(value))
 
 
 def _decode_from(data: bytes, pos: int) -> tuple[Any, int]:

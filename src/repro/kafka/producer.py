@@ -43,15 +43,22 @@ class RecordMetadata:
 
 
 def hash_partitioner(key: Any, num_partitions: int) -> int:
-    """Deterministic key -> partition mapping (FNV-1a over the serialized key).
+    """Deterministic key -> partition mapping (FNV-1a over the canonical
+    serialized key).
 
     Stable across processes, unlike ``hash()`` with string randomization —
     the upsert design (Section 4.3.1) relies on the same key always landing
-    on the same partition.
+    on the same partition.  Hashing goes through
+    :func:`serde.encode_key`, which is *equality*-canonical: keys that
+    compare equal under Python ``==`` (``5``, ``5.0``, ``True``) land on
+    the same partition.  The Pinot broker prunes partitions by hashing
+    query literals with this same function, and the query executor matches
+    rows with ``==`` — a type-sensitive encoding here would let a float
+    literal prune the partition holding equal int-keyed rows.
     """
     if PERF.enabled:
         PERF.inc("kafka.key_hashes")
-    data = serde.encode(key)
+    data = serde.encode_key(key)
     acc = 0xCBF29CE484222325
     for byte in data:
         acc ^= byte
@@ -104,7 +111,10 @@ class Producer:
         self._batches: dict[tuple[str, int], _Batch] = {}
         self._sticky: dict[str, int] = {}
         # Memoized keyed-partition choices: hash_partitioner is pure, so
-        # (topic, key, partition count) -> partition never changes.
+        # (topic, key, partition count) -> partition never changes.  Dict
+        # lookups collide keys that compare equal across types (5, 5.0,
+        # True) — harmless, because hash_partitioner is equality-canonical
+        # and maps all of them to the same partition anyway.
         self._partition_cache: dict[tuple[str, Any, int], int] = {}
         self._sends = 0
         self._last_flush: list[RecordMetadata] = []

@@ -33,6 +33,7 @@ valid or not.
 
 from __future__ import annotations
 
+import copy
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
@@ -66,6 +67,25 @@ class QueryResult:
 
     def docs_examined(self) -> int:
         return sum(p.docs_examined for p in self.plans)
+
+
+_SCALAR_CELL_TYPES = (str, int, float, bool, bytes, type(None))
+
+
+def _copy_rows(rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Rows crossing the cache boundary, isolated from caller mutation.
+
+    A shallow ``dict(row)`` shares cell objects; that is only safe when
+    every cell is an immutable scalar.  Rows with mutable cells (a
+    list-valued selection column, say) fall back to deepcopy so a caller
+    mutating a returned cell can never poison the cached entry.
+    """
+    return [
+        dict(row)
+        if all(isinstance(v, _SCALAR_CELL_TYPES) for v in row.values())
+        else copy.deepcopy(row)
+        for row in rows
+    ]
 
 
 def normalize_query(query: PinotQuery) -> tuple | None:
@@ -191,9 +211,7 @@ class PinotBroker:
         result.segments_pruned = pruned
         if cache_key is not None:
             # Store a private copy: callers may mutate the returned rows.
-            self.cache.put(
-                query.table, cache_key, epoch, [dict(r) for r in result.rows]
-            )
+            self.cache.put(query.table, cache_key, epoch, _copy_rows(result.rows))
         if self.tracer is not None:
             self.tracer.record_table_query(
                 query.table,
@@ -215,7 +233,7 @@ class PinotBroker:
         if PERF.enabled:
             PERF.inc("pinot.cache_hits")
             PERF.inc("pinot.cache_row_copies", len(rows))
-        result = QueryResult(rows=[dict(r) for r in rows], cache_hit=True)
+        result = QueryResult(rows=_copy_rows(rows), cache_hit=True)
         if self.tracer is not None:
             self.tracer.record_table_query(
                 query.table,
@@ -330,7 +348,14 @@ class PinotBroker:
     ) -> set[int] | None:
         """Partitions an equality/IN predicate on the partition column can
         reach, via the same hash the producer partitioned the stream with.
-        None means "no partition constraint"."""
+        None means "no partition constraint".
+
+        Soundness rests on ``hash_partitioner`` being equality-canonical
+        (it hashes ``serde.encode_key``): the executor matches rows with
+        Python ``==``, so a literal ``5.0`` must map to the partition the
+        producer chose for an equal key of any type (``5``, ``True``).
+        Hashing the raw literal's type-sensitive encoding here would
+        silently prune the partition holding the matching rows."""
         column = state.config.partition_column
         if column is None or not filters:
             return None

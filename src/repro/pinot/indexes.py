@@ -49,22 +49,19 @@ def union_sorted(lists: list[list[int]]) -> list[int]:
 def _bloom_key(value: Any) -> bytes | None:
     """Canonical bytes for a value, equality-compatible across types.
 
-    ``5 == 5.0 == True`` under Python equality, so numerics (bools
-    included) hash through one float representation — otherwise a float
-    literal in a query could miss an int stored in the column and cause a
-    *false negative*, which for a pruning filter means wrong results.
-    Collisions only ever add false positives, which are safe.  Returns
-    None for values with no stable canonical encoding (the filter then
-    refuses to rule the segment out rather than risk instability across
-    processes).
+    ``5 == 5.0 == True`` under Python equality (and ``Decimal(5) == 5``),
+    so numerics hash through :func:`serde.encode_key`'s one canonical
+    float representation — otherwise a float literal in a query could miss
+    an int stored in the column and cause a *false negative*, which for a
+    pruning filter means wrong results.  The same function drives the
+    producer's hash partitioner, so every pruning structure shares one
+    notion of equality.  Collisions only ever add false positives, which
+    are safe.  Returns None for values with no stable canonical encoding
+    (the filter then refuses to rule the segment out rather than risk
+    instability across processes).
     """
-    if isinstance(value, (bool, int, float)):
-        try:
-            return serde.encode(["n", float(value)])
-        except OverflowError:  # int too large for a float: exact encoding
-            return serde.encode(["i", value])
     try:
-        return serde.encode([type(value).__name__, value])
+        return serde.encode_key(value)
     except Exception:
         return None
 

@@ -23,6 +23,38 @@ class TestPartitioner:
         assert 0 <= hash_partitioner(("tuple", 1), 4) < 4
         assert 0 <= hash_partitioner(12345, 4) < 4
 
+    def test_equal_keys_across_types_agree(self):
+        # The Pinot executor matches rows with Python == and the broker
+        # prunes partitions with this hash: keys that compare equal must
+        # land on the same partition regardless of their type.
+        from decimal import Decimal
+
+        assert (
+            hash_partitioner(5, 8)
+            == hash_partitioner(5.0, 8)
+            == hash_partitioner(Decimal(5), 8)
+        )
+        assert (
+            hash_partitioner(True, 8)
+            == hash_partitioner(1, 8)
+            == hash_partitioner(1.0, 8)
+        )
+        assert hash_partitioner(("a", 1), 8) == hash_partitioner(("a", 1.0), 8)
+        # Beyond float range the exact-int fallback must stay consistent.
+        assert hash_partitioner(10**400, 8) == hash_partitioner(
+            Decimal(10) ** 400, 8
+        )
+
+    def test_partition_cache_consistent_across_equal_key_types(self, kafka, clock):
+        # 5 and 5.0 collide in the producer's memo dict (equal hash and
+        # ==); that must be harmless, i.e. both land where a fresh
+        # hash_partitioner call would place either.
+        producer = Producer(kafka, "svc", clock=clock)
+        p_int = producer.send("events", {"v": 1}, key=5)
+        p_float = producer.send("events", {"v": 2}, key=5.0)
+        assert p_int == p_float
+        assert p_int == hash_partitioner(5, 4) == hash_partitioner(5.0, 4)
+
 
 class TestProducer:
     def test_keyed_records_land_on_key_partition(self, kafka, producer):

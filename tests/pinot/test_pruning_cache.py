@@ -32,6 +32,17 @@ SCHEMA = Schema(
 )
 
 
+NUMERIC_SCHEMA = Schema(
+    "rides",
+    (
+        Field("city_id", FieldType.INT),
+        Field("ride_id", FieldType.STRING),
+        Field("amount", FieldType.DOUBLE, FieldRole.METRIC),
+        Field("ts", FieldType.DOUBLE, FieldRole.TIME),
+    ),
+)
+
+
 def build_stack(
     partitions=4,
     threshold=50,
@@ -39,6 +50,7 @@ def build_stack(
     partition_column="city",
     bloom=("ride_id",),
     startree=None,
+    schema=SCHEMA,
 ):
     clock = SimulatedClock()
     kafka = KafkaCluster("k", 3, clock=clock)
@@ -48,7 +60,7 @@ def build_stack(
     )
     config = TableConfig(
         "rides",
-        SCHEMA,
+        schema,
         time_column="ts",
         index_config=IndexConfig(bloom_filtered=frozenset(bloom)),
         startree_config=startree,
@@ -161,6 +173,19 @@ class TestBloomFilter:
         bloom = BloomFilter.build([1])
         assert bloom.might_contain(True)
 
+    def test_exotic_numeric_equality_classes_collapse(self):
+        # Decimal(5) == 5 and Fraction(5, 1) == 5: any numbers.Number that
+        # compares equal to a stored value must not be a false negative.
+        from decimal import Decimal
+        from fractions import Fraction
+
+        bloom = BloomFilter.build([5])
+        assert bloom.might_contain(Decimal(5))
+        assert bloom.might_contain(Fraction(5, 1))
+        big = BloomFilter.build([10**400])  # beyond float: exact-int path
+        assert big.might_contain(10**400)
+        assert big.might_contain(Decimal(10) ** 400)
+
     def test_unencodable_values_make_filter_opaque(self):
         bloom = BloomFilter.build(["a", object()])
         assert bloom.opaque
@@ -246,6 +271,55 @@ class TestBrokerPruning:
             for p in state.ingestion.partitions
         )
         assert result.segments_pruned >= total - expected
+
+    def test_partition_pruning_agrees_across_numeric_literal_types(self):
+        # Rows keyed with *int* city ids; the executor matches 5 == 5.0 ==
+        # True, so float/bool literals must still route to the partition
+        # the int key hashed to instead of silently pruning it away.
+        clock, kafka, controller, state = build_stack(
+            partitions=4,
+            schema=NUMERIC_SCHEMA,
+            partition_column="city_id",
+            bloom=(),
+        )
+        producer = Producer(kafka, "svc", clock=clock)
+        for i in range(400):
+            clock.advance(1.0)
+            row = {
+                "city_id": i % 8,
+                "ride_id": f"ride-{i:06d}",
+                "amount": float(i % 100),
+                "ts": clock.now(),
+            }
+            producer.send("rides", row, key=row["city_id"])
+        producer.flush()
+        state.ingestion.run_until_caught_up()
+        pruned_broker = PinotBroker(controller, clock=clock, enable_cache=False)
+        plain_broker = PinotBroker(
+            controller, clock=clock, enable_pruning=False, enable_cache=False
+        )
+        for literal in (5, 5.0):
+            query = PinotQuery(
+                "rides",
+                aggregations=[Aggregation("COUNT")],
+                filters=[Filter("city_id", "=", literal)],
+            )
+            rows = assert_same_rows(pruned_broker, plain_broker, query)
+            assert rows[0]["count(*)"] == 50
+        bool_query = PinotQuery(
+            "rides",
+            aggregations=[Aggregation("COUNT")],
+            filters=[Filter("city_id", "=", True)],  # True == city_id 1
+        )
+        rows = assert_same_rows(pruned_broker, plain_broker, bool_query)
+        assert rows[0]["count(*)"] == 50
+        in_query = PinotQuery(
+            "rides",
+            aggregations=[Aggregation("COUNT")],
+            filters=[Filter("city_id", "IN", values=(5.0, 6))],
+        )
+        rows = assert_same_rows(pruned_broker, plain_broker, in_query)
+        assert rows[0]["count(*)"] == 100
 
     def test_consuming_segments_never_pruned(self):
         clock, kafka, controller, state = build_stack(threshold=10_000)
@@ -364,6 +438,40 @@ class TestResultCache:
         again = broker.execute(self.QUERY)
         assert again.cache_hit
         assert all(row["count(*)"] != -999 for row in again.rows)
+
+    def test_mutable_cells_cannot_poison_cache(self):
+        # Scalar cells are shielded by the shallow per-row copy; rows with
+        # mutable cells (JSON columns) must fall back to a deep copy so a
+        # caller mutating a returned cell never corrupts later hits.
+        from repro.pinot.broker import _copy_rows
+
+        rows = [{"tags": ["a", "b"], "n": 1}]
+        copied = _copy_rows(rows)
+        copied[0]["tags"].append("poison")
+        assert rows[0]["tags"] == ["a", "b"]
+        schema = Schema(
+            "rides",
+            (
+                Field("city", FieldType.STRING),
+                Field("tags", FieldType.JSON),
+                Field("ts", FieldType.DOUBLE, FieldRole.TIME),
+            ),
+        )
+        clock, kafka, controller, state = build_stack(
+            schema=schema, bloom=(), partition_column=None
+        )
+        producer = Producer(kafka, "svc", clock=clock)
+        producer.send(
+            "rides", {"city": "sf", "tags": ["x"], "ts": 1.0}, key="sf"
+        )
+        producer.flush()
+        state.ingestion.run_until_caught_up()
+        broker = self.make_broker(controller, clock)
+        query = PinotQuery("rides", select_columns=["city", "tags"])
+        broker.execute(query).rows[0]["tags"].append("poison")
+        hit = broker.execute(query)
+        assert hit.cache_hit
+        assert hit.rows[0]["tags"] == ["x"]
 
     def test_ingest_invalidates(self):
         clock, kafka, controller, state = self.loaded_stack()
