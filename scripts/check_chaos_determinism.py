@@ -3,9 +3,11 @@
 
 Runs the full multi-layer fault scenario twice with the same seed and
 byte-diffs the two rendered RecoveryReports (fault timeline + invariant
-results).  Any divergence — ordering, counts, formatting — fails the job,
-because the whole debugging story of the simulation rests on same seed ->
-same run.
+results) plus the full IntegrityReports of every registered cross-layer
+audit (per-key missing/duplicated/reordered findings with their lineage
+digests).  Any divergence — ordering, counts, formatting — fails the
+job, because the whole debugging story of the simulation rests on same
+seed -> same run.
 
 Exit codes: 0 identical, 1 diverged.
 """
@@ -26,7 +28,10 @@ def run_once(seed: int) -> str:
     from tests.chaos.test_chaos_e2e import run_scenario
 
     __, chaos, __ = run_scenario(seed=seed)
-    return chaos.report().render()
+    rendered = chaos.report().render()
+    # reconcile() already ran inside report(); last_report is set.
+    audits = "\n".join(a.last_report.render() for a in chaos.auditors)
+    return f"{rendered}\n{audits}" if audits else rendered
 
 
 def main(seed: int = 2021) -> int:

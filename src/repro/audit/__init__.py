@@ -1,0 +1,28 @@
+"""Cross-layer data-integrity auditing (Section 9.4, "Chaperone").
+
+The paper's auditing system tracks every business event across Kafka,
+Flink and Pinot and reports loss and duplication at each stage.  This
+package reproduces that loop end to end:
+
+* :mod:`repro.audit.lineage` — content digests and the
+  :class:`LineageLedger` of expected records, filled in by workload
+  generators as they produce.
+* :mod:`repro.audit.auditor` — :class:`IntegrityAuditor` scans Kafka
+  topic logs and Pinot tables and reconciles them against the ledger.
+* :mod:`repro.audit.report` — the deterministic
+  :class:`IntegrityReport` (missing / duplicated / reordered per key)
+  the chaos harness asserts on after every fault timeline.
+"""
+
+from repro.audit.auditor import IntegrityAuditor
+from repro.audit.lineage import LineageLedger, lineage_digest
+from repro.audit.report import IntegrityReport, KeyFinding, StageReport
+
+__all__ = [
+    "IntegrityAuditor",
+    "IntegrityReport",
+    "KeyFinding",
+    "LineageLedger",
+    "StageReport",
+    "lineage_digest",
+]

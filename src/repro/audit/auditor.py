@@ -1,0 +1,201 @@
+"""The cross-layer integrity auditor (the Chaperone loop of Section 9.4).
+
+An :class:`IntegrityAuditor` audits ONE logical dataset: the expected
+records live in a :class:`LineageLedger` (filled by the workload
+generator, or constructed analytically for derived datasets), and each
+registered *stage* is a deferred scan of where those records should now
+be — a Kafka topic log, a Pinot table.  :meth:`reconcile` runs the scans
+and diffs each stage's per-key ordered digest sequences against the
+ledger, producing the deterministic :class:`IntegrityReport`.
+
+Scans are deferred (registered as thunks, executed at reconcile time) so
+the chaos harness can register the audit as an invariant *before* the
+fault timeline runs and evaluate it after recovery settles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Iterable
+
+from repro.audit.lineage import LineageLedger, lineage_digest
+from repro.audit.report import IntegrityReport, KeyFinding, StageReport
+from repro.common import serde
+
+#: A stage scan yields (key, value) pairs in observation order.
+StageScan = Callable[[], Iterable[tuple[Any, Any]]]
+
+_FETCH_CHUNK = 500
+
+
+class IntegrityAuditor:
+    def __init__(self, name: str, ledger: LineageLedger | None = None) -> None:
+        self.name = name
+        self.ledger = ledger or LineageLedger()
+        self._stages: list[tuple[str, StageScan]] = []
+        self.last_report: IntegrityReport | None = None
+
+    # -- expected side ------------------------------------------------------
+
+    def record_expected(self, key: Any, value: Any) -> str:
+        """Workload-generator hook: one record that MUST survive."""
+        return self.ledger.record(key, value)
+
+    # -- observed side ------------------------------------------------------
+
+    def add_stage(self, stage: str, scan: StageScan) -> "IntegrityAuditor":
+        """Register an arbitrary deferred scan for reconciliation."""
+        self._stages.append((stage, scan))
+        return self
+
+    def add_kafka_stage(
+        self,
+        cluster: Any,
+        topic: str,
+        stage: str | None = None,
+        key_fn: Callable[[Any], Any] | None = None,
+        value_fn: Callable[[Any], Any] | None = None,
+        where: Callable[[Any], bool] | None = None,
+    ) -> "IntegrityAuditor":
+        """Scan a Kafka topic log, partitions in order, offsets in order.
+
+        Per-key observation order is faithful because the hash partitioner
+        sends all records of one key to one partition.  ``key_fn`` /
+        ``value_fn`` map a log record to the audited key/payload (defaults:
+        the record's own key and value); ``where`` keeps only matching
+        records (for excluding out-of-ledger traffic like probe sentinels).
+        """
+
+        def scan() -> Iterable[tuple[Any, Any]]:
+            for partition in range(cluster.partition_count(topic)):
+                offset = cluster.start_offset(topic, partition)
+                end = cluster.end_offset(topic, partition)
+                while offset < end:
+                    entries = cluster.fetch(topic, partition, offset, _FETCH_CHUNK)
+                    if not entries:
+                        break
+                    for entry in entries:
+                        record = entry.record
+                        if where is not None and not where(record):
+                            continue
+                        yield (
+                            record.key if key_fn is None else key_fn(record),
+                            record.value if value_fn is None else value_fn(record),
+                        )
+                    offset = entries[-1].offset + 1
+
+        return self.add_stage(stage or f"kafka:{topic}", scan)
+
+    def add_pinot_stage(
+        self,
+        controller: Any,
+        table: str,
+        key_column: str | None = None,
+        stage: str | None = None,
+        key_fn: Callable[[dict], Any] | None = None,
+        value_fn: Callable[[dict], Any] | None = None,
+        where: Callable[[dict], bool] | None = None,
+    ) -> "IntegrityAuditor":
+        """Scan every row of a realtime Pinot table: partitions in order,
+        each partition's sealed segments in seal order, then the consuming
+        segment — i.e. ingestion order, so per-key order is faithful.
+
+        ``key_column`` names the row column holding the record key
+        (defaults to the table's partition column); ``value_fn`` maps a
+        row dict to the audited payload (default: the whole row);
+        ``where`` keeps only matching rows.
+        """
+
+        def scan() -> Iterable[tuple[Any, Any]]:
+            state = controller.table(table)
+            column = key_column or state.config.partition_column
+            if column is None and key_fn is None:
+                raise ValueError(
+                    f"table {table!r} has no partition column; pass "
+                    "key_column= or key_fn="
+                )
+            for partition in sorted(state.ingestion.partitions):
+                pstate = state.ingestion.partitions[partition]
+                names = pstate.sealed_segments + [pstate.consuming.name]
+                for seg_name in names:
+                    segment = pstate.owner.segments.get(seg_name)
+                    if segment is None:
+                        # Sealed copy lost from the owner: surface it as
+                        # missing records rather than crashing the audit.
+                        continue
+                    for doc_id in range(segment.num_docs):
+                        row = segment.row(doc_id)
+                        if where is not None and not where(row):
+                            continue
+                        yield (
+                            row[column] if key_fn is None else key_fn(row),
+                            row if value_fn is None else value_fn(row),
+                        )
+
+        return self.add_stage(stage or f"pinot:{table}", scan)
+
+    # -- reconciliation -----------------------------------------------------
+
+    def reconcile(self) -> IntegrityReport:
+        """Run every registered scan and diff it against the ledger."""
+        expected = self.ledger.per_key()
+        expected_total = self.ledger.records
+        stage_reports = []
+        for stage, scan in self._stages:
+            observed: dict[bytes, list[str]] = {}
+            display: dict[bytes, str] = {}
+            observed_total = 0
+            for key, value in scan():
+                canonical = serde.encode_key(key)
+                observed.setdefault(canonical, []).append(lineage_digest(value))
+                display.setdefault(canonical, repr(key))
+                observed_total += 1
+            missing: list[KeyFinding] = []
+            duplicated: list[KeyFinding] = []
+            reordered: list[str] = []
+            for canonical in sorted(
+                set(expected) | set(observed),
+                key=lambda c: (self.ledger.display(c)
+                               if c in expected else display[c]),
+            ):
+                exp = expected.get(canonical, [])
+                obs = observed.get(canonical, [])
+                if exp == obs:
+                    continue
+                name = (
+                    self.ledger.display(canonical)
+                    if canonical in expected
+                    else display[canonical]
+                )
+                lost = Counter(exp) - Counter(obs)
+                extra = Counter(obs) - Counter(exp)
+                if lost:
+                    missing.append(
+                        KeyFinding(
+                            name,
+                            sum(lost.values()),
+                            tuple(sorted(lost.elements())),
+                        )
+                    )
+                if extra:
+                    duplicated.append(
+                        KeyFinding(
+                            name,
+                            sum(extra.values()),
+                            tuple(sorted(extra.elements())),
+                        )
+                    )
+                if not lost and not extra:
+                    reordered.append(name)
+            stage_reports.append(
+                StageReport(
+                    stage=stage,
+                    expected_records=expected_total,
+                    observed_records=observed_total,
+                    missing=tuple(missing),
+                    duplicated=tuple(duplicated),
+                    reordered=tuple(reordered),
+                )
+            )
+        self.last_report = IntegrityReport(self.name, tuple(stage_reports))
+        return self.last_report

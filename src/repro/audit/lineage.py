@@ -1,0 +1,52 @@
+"""Lineage digests: content fingerprints assigned at the source.
+
+A record's lineage digest is a short blake2b hash over its
+*equality-canonical* serde encoding (:func:`serde.encode_key`), so the
+same logical payload produces the same digest wherever it is observed —
+in the producer's ledger, in a Kafka log entry, or as a row scanned out
+of a Pinot segment — regardless of dict key order or int/float typing
+drift across layers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.common import serde
+
+
+def lineage_digest(value: Any) -> str:
+    """Content fingerprint of one record payload (16 hex chars)."""
+    return hashlib.blake2b(serde.encode_key(value), digest_size=8).hexdigest()
+
+
+class LineageLedger:
+    """The expected side of the reconciliation: every record a workload
+    generator produced, as per-key *ordered* digest sequences.
+
+    Keys are canonicalized with :func:`serde.encode_key` so ``5`` and
+    ``5.0`` ledger under the same key (matching partitioner and query
+    equality semantics); the original key's ``repr`` is kept for
+    reporting.
+    """
+
+    def __init__(self) -> None:
+        self._per_key: dict[bytes, list[str]] = {}
+        self._display: dict[bytes, str] = {}
+        self.records = 0
+
+    def record(self, key: Any, value: Any) -> str:
+        """Register one expected record; returns its lineage digest."""
+        canonical = serde.encode_key(key)
+        digest = lineage_digest(value)
+        self._per_key.setdefault(canonical, []).append(digest)
+        self._display.setdefault(canonical, repr(key))
+        self.records += 1
+        return digest
+
+    def per_key(self) -> dict[bytes, list[str]]:
+        return self._per_key
+
+    def display(self, canonical: bytes) -> str:
+        return self._display.get(canonical, canonical.hex())

@@ -1,0 +1,90 @@
+"""The deterministic integrity report.
+
+One :class:`StageReport` per observed stage (a Kafka topic log, a Pinot
+table scan, ...), each reconciled against the same expected ledger.
+``render()`` is byte-stable for a given reconciliation: findings are
+sorted by display key, so same seed + same fault timeline produces the
+identical report — the determinism CI gate diffs it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KeyFinding:
+    """One key's discrepancy at one stage."""
+
+    key: str  # display form of the record key
+    count: int  # how many records are missing/duplicated for this key
+    digests: tuple[str, ...]  # the affected lineage digests, sorted
+
+
+@dataclass(frozen=True)
+class StageReport:
+    stage: str
+    expected_records: int
+    observed_records: int
+    missing: tuple[KeyFinding, ...]
+    duplicated: tuple[KeyFinding, ...]
+    # Keys whose record *multiset* matches but whose per-key order differs
+    # (a re-delivery that jumped the line).
+    reordered: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not (self.missing or self.duplicated or self.reordered)
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"{self.stage}: OK "
+                f"({self.observed_records}/{self.expected_records} records)"
+            )
+        parts = []
+        if self.missing:
+            parts.append(f"missing {sum(f.count for f in self.missing)}")
+        if self.duplicated:
+            parts.append(f"duplicated {sum(f.count for f in self.duplicated)}")
+        if self.reordered:
+            parts.append(f"reordered keys {len(self.reordered)}")
+        return f"{self.stage}: FAIL ({', '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class IntegrityReport:
+    name: str
+    stages: tuple[StageReport, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(stage.ok for stage in self.stages)
+
+    def summary(self) -> str:
+        verdict = "CLEAN" if self.ok else "VIOLATED"
+        return f"integrity[{self.name}]: {verdict}; " + "; ".join(
+            stage.summary() for stage in self.stages
+        )
+
+    def render(self) -> str:
+        lines = [f"=== integrity report: {self.name} ==="]
+        for stage in self.stages:
+            lines.append(
+                f"stage {stage.stage}: expected={stage.expected_records} "
+                f"observed={stage.observed_records} "
+                f"{'OK' if stage.ok else 'FAIL'}"
+            )
+            for label, findings in (
+                ("missing", stage.missing),
+                ("duplicated", stage.duplicated),
+            ):
+                for finding in findings:
+                    lines.append(
+                        f"  {label} key={finding.key} x{finding.count} "
+                        f"digests={','.join(finding.digests)}"
+                    )
+            for key in stage.reordered:
+                lines.append(f"  reordered key={key}")
+        lines.append(f"verdict: {'CLEAN' if self.ok else 'VIOLATED'}")
+        return "\n".join(lines)

@@ -60,6 +60,9 @@ class ChaosHarness:
         self.trace_id = f"chaos-{self.seed}"
         self.events: list[FaultEvent] = []
         self._invariants: list[tuple[str, InvariantCheck]] = []
+        # Auditors registered via expect_integrity, in order: the
+        # determinism gate byte-diffs their full rendered reports.
+        self.auditors: list[Any] = []
 
     # -- recording ----------------------------------------------------------
 
@@ -161,8 +164,10 @@ class ChaosHarness:
     def crash_flink_job(self, at: float, job: int = 0) -> "ChaosHarness":
         """Crash mid-window: discard in-flight state, restore operator
         state from the last completed snapshot and rewind the Kafka source
-        offsets to it (at-least-once into sinks, exactly-once internal
-        state)."""
+        offsets to it (exactly-once internal state; exactly-once into
+        transactional sinks too — their uncommitted 2PC buffers are
+        aborted and re-emitted by the rewound sources — while eager sinks
+        see at-least-once replay)."""
 
         def action() -> str:
             runtime = self._runtime(job)
@@ -332,6 +337,24 @@ class ChaosHarness:
             return False, f"expected {_brief(expected)}, got {_brief(value)}"
 
         return self.add_invariant(name, check)
+
+    def expect_integrity(
+        self, auditor: Any, name: str | None = None
+    ) -> "ChaosHarness":
+        """After the fault timeline settles, the cross-layer integrity
+        audit (Section 9.4) must come back clean: every expected record
+        present exactly once, in per-key order, at every registered stage
+        (Kafka topic logs, Pinot table scans).  The auditor's scans run
+        lazily at :meth:`report` time, so register this before ``run()``.
+        The full :class:`~repro.audit.report.IntegrityReport` stays on
+        ``auditor.last_report`` for rendering/diffing."""
+
+        def check() -> tuple[bool, str]:
+            report = auditor.reconcile()
+            return report.ok, report.summary()
+
+        self.auditors.append(auditor)
+        return self.add_invariant(name or f"integrity:{auditor.name}", check)
 
     def expect_freshness(
         self,

@@ -83,6 +83,16 @@ class QuotaExceededError(KafkaError):
     """Producer exceeded its provisioned byte quota (self-serve limits)."""
 
 
+class ProducerFencedError(KafkaError):
+    """A newer producer instance with the same transactional id has
+    initialized; this (zombie) instance must not write again."""
+
+
+class OutOfOrderSequenceError(KafkaError):
+    """Idempotent produce arrived with a sequence number that is neither
+    the next expected one nor an exact retry of the last batch."""
+
+
 # --- flink ---------------------------------------------------------------
 
 class FlinkError(ReproError):

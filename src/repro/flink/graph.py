@@ -46,6 +46,11 @@ class OperatorSpec:
     sink: Any = None  # SinkFunction for kind == 'sink'
     join_key_fns: tuple[Callable, Callable] | None = None
     join_fn: Callable | None = None
+    # Exactly-once sinks (kind == 'sink' only): writes are buffered per
+    # checkpoint epoch and two-phase committed on checkpoint completion
+    # instead of written eagerly.  Without checkpoints nothing commits, so
+    # a transactional sink only makes sense on a checkpointed job.
+    transactional: bool = False
 
 
 @dataclass
@@ -273,20 +278,47 @@ class DataStream:
             spec.key_fn = self.keyed_by
         return stream
 
-    def add_sink(self, sink: Any, name: str | None = None) -> "DataStream":
-        spec = OperatorSpec(name or self.env._new_id("sink"), "sink", sink=sink)
+    def add_sink(
+        self, sink: Any, name: str | None = None, transactional: bool = False
+    ) -> "DataStream":
+        spec = OperatorSpec(
+            name or self.env._new_id("sink"),
+            "sink",
+            sink=sink,
+            transactional=transactional,
+        )
         return self._chain(spec, "forward")
 
-    def sink_to_list(self, collector: list, name: str | None = None) -> "DataStream":
+    def sink_to_list(
+        self,
+        collector: list,
+        name: str | None = None,
+        transactional: bool = False,
+    ) -> "DataStream":
         from repro.flink.operators import CollectSink
 
-        return self.add_sink(CollectSink(collector), name=name)
+        return self.add_sink(
+            CollectSink(collector), name=name, transactional=transactional
+        )
 
     def sink_to_kafka(self, cluster, topic: str, key_fn: Callable | None = None,
-                      name: str | None = None) -> "DataStream":
+                      name: str | None = None, transactional: bool = False,
+                      transactional_id: str | None = None) -> "DataStream":
+        """Kafka sink; ``transactional=True`` gives end-to-end exactly-once:
+        records are 2PC-buffered by the runtime and produced with an
+        idempotent, epoch-fenced producer (pass ``transactional_id`` when
+        several jobs sink to the same topic)."""
         from repro.flink.operators import KafkaSink
 
-        return self.add_sink(KafkaSink(cluster, topic, key_fn), name=name)
+        return self.add_sink(
+            KafkaSink(
+                cluster, topic, key_fn,
+                transactional=transactional,
+                transactional_id=transactional_id,
+            ),
+            name=name,
+            transactional=transactional,
+        )
 
 
 @dataclass

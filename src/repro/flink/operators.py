@@ -409,6 +409,16 @@ class KafkaSourceReader:
     def restore(self, data: dict[str, Any]) -> None:
         for partition, offset in data["positions"].items():
             self.positions[int(partition)] = offset
+        # Watermark/idleness state is *derived* from the records read, so
+        # rewinding the offsets must reset it too: a stale high-water mark
+        # would swallow the watermarks regenerated during replay and stall
+        # every downstream window until some even-newer event arrived.
+        self.watermarks = BoundedOutOfOrdernessWatermarks(
+            self.source.max_out_of_orderness
+        )
+        self._emitted_watermark = float("-inf")
+        self._empty_polls = 0
+        self._idle = False
 
 
 class BoundedListSource:
@@ -484,19 +494,44 @@ class CollectSink:
 
 
 class KafkaSink:
-    """Produces results to a Kafka topic (FlinkSQL -> Pinot path, §4.3.3)."""
+    """Produces results to a Kafka topic (FlinkSQL -> Pinot path, §4.3.3).
 
-    def __init__(self, cluster, topic: str, key_fn: Callable | None = None) -> None:
+    ``transactional=True`` puts the internal producer in idempotent,
+    epoch-fenced mode: the runtime buffers writes per checkpoint epoch (2PC)
+    and, on crash-restore, calls :meth:`on_restore` to bump the producer
+    epoch — a zombie pre-failure instance that still tries to commit its
+    buffered records is fenced broker-side
+    (:class:`~repro.common.errors.ProducerFencedError`).
+    """
+
+    def __init__(self, cluster, topic: str, key_fn: Callable | None = None,
+                 transactional: bool = False,
+                 transactional_id: str | None = None) -> None:
         from repro.kafka.producer import Producer
 
         self.cluster = cluster
         self.topic = topic
         self.key_fn = key_fn
-        self._producer = Producer(cluster, service_name=f"flink-sink-{topic}")
+        self.transactional = transactional
+        self._producer = Producer(
+            cluster,
+            service_name=f"flink-sink-{topic}",
+            transactional_id=(
+                (transactional_id or f"flink-2pc-{topic}")
+                if transactional
+                else None
+            ),
+        )
 
     def set_tracer(self, tracer: SpanCollector | None) -> None:
         """Let the runtime hand its tracer to the sink's internal producer."""
         self._producer.tracer = tracer
+
+    def on_restore(self) -> None:
+        """Crash-restore fencing hook: re-register the transactional
+        producer so the epoch advances and any zombie commit is rejected."""
+        if self.transactional:
+            self._producer.init_transactions()
 
     def write(self, record: StreamRecord) -> None:
         key = self.key_fn(record.value) if self.key_fn is not None else record.key

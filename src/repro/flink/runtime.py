@@ -15,6 +15,13 @@ on (Section 4.2):
   state, and forward the barrier.  Source offsets plus aligned operator
   snapshots give an exactly-once-consistent recovery point in the storage
   layer.
+* **Transactional (2PC) sinks.**  A sink marked ``transactional`` buffers
+  writes per checkpoint epoch: records are *pre-committed* when the sink
+  aligns a barrier and *committed* — actually written — only once every
+  sink acknowledged that checkpoint.  ``restore_from`` aborts uncommitted
+  epochs and bumps the Kafka producer epoch (zombie fencing), so sink
+  output is exactly-once under crash-restore; eager (non-transactional)
+  sinks keep the classic at-least-once replay semantics.
 """
 
 from __future__ import annotations
@@ -25,7 +32,12 @@ from typing import Any
 
 from repro.common import serde
 from repro.common.clock import Clock, SystemClock
-from repro.common.errors import CheckpointError, FlinkError
+from repro.common.errors import (
+    BlobNotFoundError,
+    CheckpointError,
+    FlinkError,
+    StorageUnavailableError,
+)
 from repro.common.metrics import MetricsRegistry
 from repro.common.perf import PERF
 from repro.kafka.producer import hash_partitioner
@@ -81,6 +93,12 @@ class SubTask:
         self.completed_checkpoints: set[int] = set()
         self._out_watermark = float("-inf")
         self._rebalance_cursor = 0
+        # 2PC sink transaction buffers (spec.transactional sinks only):
+        # the open transaction collects records since the last barrier;
+        # pre-committed transactions (closed at barrier alignment) wait,
+        # keyed and committed in checkpoint-id order.
+        self._txn_open: list[StreamRecord] = []
+        self._txn_pre: dict[int, list[StreamRecord]] = {}
         # Cached output wiring, built lazily on first emit/space probe:
         # (edge, dst channels, dst key_fn, key -> target memo) per out edge.
         self._out: list | None = None
@@ -263,17 +281,11 @@ class SubTask:
             PERF.inc("flink.batch_elements", len(records))
         self.records_processed += len(records)
         if self.spec.kind == "sink":
-            sink = self.spec.sink
-            tracer = self.runtime.tracer
-            for record in records:
-                sink.write(record)
-                if tracer is not None and record.trace is not None:
-                    tracer.end_span(
-                        record.trace.trace_id,
-                        "process",
-                        end=self.runtime.clock.now(),
-                        sink=self.spec.op_id,
-                    )
+            if self.spec.transactional:
+                self._txn_open.extend(records)
+            else:
+                for record in records:
+                    self._write_to_sink(record)
         else:
             assert self.operator is not None
             self.emit(self.operator.process_batch(records, channel.input_index))
@@ -284,15 +296,10 @@ class SubTask:
         if isinstance(element, StreamRecord):
             self.records_processed += 1
             if self.spec.kind == "sink":
-                self.spec.sink.write(element)
-                tracer = self.runtime.tracer
-                if tracer is not None and element.trace is not None:
-                    tracer.end_span(
-                        element.trace.trace_id,
-                        "process",
-                        end=self.runtime.clock.now(),
-                        sink=self.spec.op_id,
-                    )
+                if self.spec.transactional:
+                    self._txn_open.append(element)
+                else:
+                    self._write_to_sink(element)
             else:
                 assert self.operator is not None
                 self.emit(self.operator.process(element, channel.input_index))
@@ -331,10 +338,81 @@ class SubTask:
         self.emit(self.operator.on_watermark(Watermark(minimum)))
         self._broadcast_control(Watermark(minimum))
 
+    # -- 2PC sink transactions ------------------------------------------------
+
+    def _write_to_sink(self, record: StreamRecord) -> None:
+        """Physically write one record (the only path into ``sink.write``)."""
+        self.spec.sink.write(record)
+        tracer = self.runtime.tracer
+        if tracer is not None and record.trace is not None:
+            tracer.end_span(
+                record.trace.trace_id,
+                "process",
+                end=self.runtime.clock.now(),
+                sink=self.spec.op_id,
+            )
+
+    def _precommit(self, checkpoint_id: int) -> None:
+        """2PC phase one, at barrier alignment: close the open transaction
+        under this checkpoint's epoch.  Nothing is written yet."""
+        self._txn_pre[checkpoint_id] = self._txn_open
+        self._txn_open = []
+        self.runtime._txn_event(
+            "precommit", self, checkpoint_id, len(self._txn_pre[checkpoint_id])
+        )
+
+    def commit_through(self, checkpoint_id: int) -> int:
+        """2PC phase two: write every pre-committed transaction with an
+        epoch at or below ``checkpoint_id``, in checkpoint order.  Returns
+        records written."""
+        written = 0
+        for epoch in sorted(self._txn_pre):
+            if epoch > checkpoint_id:
+                break
+            records = self._txn_pre.pop(epoch)
+            for record in records:
+                self._write_to_sink(record)
+            written += len(records)
+            self.runtime._txn_event("commit", self, epoch, len(records))
+        return written
+
+    def rollback_precommit(self, checkpoint_id: int) -> None:
+        """Aborted checkpoint: its pre-committed records re-join the front
+        of the open transaction (they precede it in stream order), so the
+        next successful checkpoint commits them — no loss, no duplication."""
+        records = self._txn_pre.pop(checkpoint_id, None)
+        if records:
+            self._txn_open[:0] = records
+
+    def abort_transactions(self) -> int:
+        """Crash-restore: discard every uncommitted transaction (the
+        rewound sources will regenerate those records) and fence the sink's
+        producer identity if it has one.  Returns records discarded."""
+        discarded = len(self._txn_open)
+        self._txn_open = []
+        for epoch in sorted(self._txn_pre):
+            discarded += len(self._txn_pre[epoch])
+            self.runtime._txn_event(
+                "abort", self, epoch, len(self._txn_pre[epoch])
+            )
+        self._txn_pre = {}
+        on_restore = getattr(self.spec.sink, "on_restore", None)
+        if on_restore is not None:
+            on_restore()
+        return discarded
+
+    def pending_txn_records(self) -> int:
+        """Buffered-but-uncommitted records (open + pre-committed)."""
+        return len(self._txn_open) + sum(
+            len(records) for records in self._txn_pre.values()
+        )
+
     def _maybe_complete_alignment(self, checkpoint_id: int) -> None:
         if any(c.blocked_for != checkpoint_id for c in self.inputs.values()):
             return
         if self.spec.kind == "sink":
+            if self.spec.transactional:
+                self._precommit(checkpoint_id)
             self.completed_checkpoints.add(checkpoint_id)
             self.runtime._sink_acked(checkpoint_id, self)
         else:
@@ -451,6 +529,37 @@ class JobRuntime:
     def _checkpoint_key(self, checkpoint_id: int, op_id: str, index: int) -> str:
         return f"checkpoints/{self.graph.name}/{checkpoint_id}/{op_id}/{index}"
 
+    def _checkpoint_prefix(self, checkpoint_id: int) -> str:
+        return f"checkpoints/{self.graph.name}/{checkpoint_id}/"
+
+    def _completion_marker_key(self, checkpoint_id: int) -> str:
+        """Durable completion record: written only after every sink acked
+        and every transactional sink committed, so a *fresh* runtime (job
+        manager recovery) can tell completed checkpoints from debris."""
+        return self._checkpoint_prefix(checkpoint_id) + "__complete__"
+
+    def _txn_event(
+        self, phase: str, task: SubTask, checkpoint_id: int, records: int
+    ) -> None:
+        """Counters + an instantaneous span per 2PC transition, so the
+        dashboard shows precommit/commit/abort next to the data spans."""
+        self.metrics.counter(f"sink_{phase}s").inc()
+        self.metrics.counter(f"sink_records_{phase}ted" if phase != "abort"
+                             else "sink_records_aborted").inc(records)
+        if self.tracer is not None:
+            now = self.clock.now()
+            self.tracer.record_span(
+                f"2pc-{self.graph.name}",
+                phase,
+                "flink",
+                start=now,
+                end=now,
+                op=task.spec.op_id,
+                subtask=task.index,
+                checkpoint=checkpoint_id,
+                records=records,
+            )
+
     def _store_snapshot(
         self, checkpoint_id: int, op_id: str, index: int, data: bytes
     ) -> None:
@@ -473,6 +582,21 @@ class JobRuntime:
             return
         pending.discard((task.spec.op_id, task.index))
         if not pending:
+            # Every sink aligned: commit phase.  Transactional sinks write
+            # their pre-committed epochs now (in deterministic sink order),
+            # then the completion marker makes the checkpoint durable.  A
+            # commit failure propagates and aborts the checkpoint — the
+            # uncommitted sinks' buffers roll back into their open
+            # transactions, so nothing is lost for the next checkpoint.
+            for spec in self.graph.sinks():
+                if not spec.transactional:
+                    continue
+                for sink_task in self.tasks[spec.op_id]:
+                    sink_task.commit_through(checkpoint_id)
+            if self.blob_store is not None:
+                self.blob_store.put(
+                    self._completion_marker_key(checkpoint_id), b"complete"
+                )
             self._completed_checkpoints.append(checkpoint_id)
             del self._pending_sink_acks[checkpoint_id]
 
@@ -480,7 +604,12 @@ class JobRuntime:
         """Take a barrier-aligned checkpoint; returns its id.
 
         Injects barriers at every source subtask, then drives the scheduler
-        until every sink subtask has acknowledged the barrier.
+        until every sink subtask has acknowledged the barrier.  A checkpoint
+        that stalls or fails mid-flight (snapshot store down, commit error)
+        is *aborted*: its pending acks, per-task completion markers,
+        in-flight barriers and partial snapshot blobs are all cleaned up,
+        and pre-committed sink transactions roll back into the open
+        transaction so the next checkpoint commits those records instead.
         """
         checkpoint_id = self._next_checkpoint_id
         self._next_checkpoint_id += 1
@@ -489,30 +618,78 @@ class JobRuntime:
             for spec in self.graph.sinks()
             for task in self.tasks[spec.op_id]
         }
-        for spec in self.graph.sources():
-            for task in self.tasks[spec.op_id]:
-                task.inject_barrier(checkpoint_id)
-        # Alignment only needs the in-flight channel data ahead of the
-        # barriers to drain; sources are NOT stepped, so a checkpoint never
-        # pulls new input (and its position is exactly where it was
-        # triggered).
-        source_ids = {spec.op_id for spec in self.graph.sources()}
-        for __ in range(max_rounds):
+        try:
+            for spec in self.graph.sources():
+                for task in self.tasks[spec.op_id]:
+                    task.inject_barrier(checkpoint_id)
+            # Alignment only needs the in-flight channel data ahead of the
+            # barriers to drain; sources are NOT stepped, so a checkpoint
+            # never pulls new input (and its position is exactly where it
+            # was triggered).
+            source_ids = {spec.op_id for spec in self.graph.sources()}
+            for __ in range(max_rounds):
+                if checkpoint_id in self._completed_checkpoints:
+                    return checkpoint_id
+                progress = 0
+                for op_id in self._topo:
+                    if op_id in source_ids:
+                        continue
+                    for task in self.tasks[op_id]:
+                        progress += task.step(200)
+                if progress == 0:
+                    break
             if checkpoint_id in self._completed_checkpoints:
                 return checkpoint_id
-            progress = 0
-            for op_id in self._topo:
-                if op_id in source_ids:
-                    continue
-                for task in self.tasks[op_id]:
-                    progress += task.step(200)
-            if progress == 0 and checkpoint_id not in self._completed_checkpoints:
-                break
-        if checkpoint_id in self._completed_checkpoints:
-            return checkpoint_id
+        except BaseException:
+            self._abort_checkpoint(checkpoint_id)
+            raise
+        self._abort_checkpoint(checkpoint_id)
         raise CheckpointError(
             f"checkpoint {checkpoint_id} did not complete in {max_rounds} rounds"
         )
+
+    def _abort_checkpoint(self, checkpoint_id: int) -> None:
+        """Undo every trace of a failed/stalled checkpoint.
+
+        Leaves the job able to keep running and to take (and complete) the
+        next checkpoint: no dangling pending-ack entry, no per-task
+        completion marker, no blocked channel or queued barrier for the
+        aborted id, no orphaned snapshot blobs, and no sink records stranded
+        in a pre-committed transaction that would never commit.
+        """
+        self._pending_sink_acks.pop(checkpoint_id, None)
+        for tasks in self.tasks.values():
+            for task in tasks:
+                task.completed_checkpoints.discard(checkpoint_id)
+                task.rollback_precommit(checkpoint_id)
+                for channel in task.inputs.values():
+                    if channel.blocked_for == checkpoint_id:
+                        channel.blocked_for = None
+                    if any(
+                        isinstance(e, CheckpointBarrier)
+                        and e.checkpoint_id == checkpoint_id
+                        for e in channel.queue
+                    ):
+                        channel.queue = deque(
+                            e
+                            for e in channel.queue
+                            if not (
+                                isinstance(e, CheckpointBarrier)
+                                and e.checkpoint_id == checkpoint_id
+                            )
+                        )
+        if self.blob_store is not None:
+            try:
+                for key in self.blob_store.list(
+                    self._checkpoint_prefix(checkpoint_id)
+                ):
+                    self.blob_store.delete(key)
+            except StorageUnavailableError:
+                # Storage being down is likely *why* we are aborting; the
+                # orphaned partial blobs are harmless debris (restore only
+                # trusts checkpoints with a completion marker).
+                pass
+        self.metrics.counter("checkpoints_aborted").inc()
 
     def completed_checkpoints(self) -> list[int]:
         return list(self._completed_checkpoints)
@@ -522,11 +699,46 @@ class JobRuntime:
 
         In-flight channel contents are discarded; sources rewind to the
         checkpointed offsets, so every record after the checkpoint is
-        reprocessed — at-least-once into sinks, exactly-once for internal
-        state.
+        reprocessed — exactly-once for internal state, and exactly-once into
+        *transactional* sinks too: their uncommitted transactions are
+        aborted here (the rewound sources will regenerate those records)
+        and the Kafka producer epoch is bumped, fencing any zombie
+        pre-failure task that might still try to commit.  Eager
+        (non-transactional) sinks keep at-least-once replay semantics.
+
+        Only *completed* checkpoints are restorable.  An id that is neither
+        in this runtime's completed list nor durably marked complete in the
+        blob store (the ``__complete__`` marker written at commit) raises
+        :class:`CheckpointError` before any task state is touched — a
+        failed restore must not leave the job half-mutated.
         """
         if self.blob_store is None:
             raise CheckpointError("no blob store configured for checkpoints")
+        if checkpoint_id not in self._completed_checkpoints:
+            # Fresh runtime (job-manager recovery): fall back to the
+            # durable completion marker.
+            if not self.blob_store.exists(self._completion_marker_key(checkpoint_id)):
+                raise CheckpointError(
+                    f"checkpoint {checkpoint_id} was never completed; refusing "
+                    f"to restore (completed: {self._completed_checkpoints})"
+                )
+        # Prefetch every snapshot before mutating anything, so a missing or
+        # unreadable blob cannot leave the job partially restored.
+        snapshots: dict[tuple[str, int], Any] = {}
+        try:
+            for op_id, tasks in self.tasks.items():
+                for task in tasks:
+                    if task.spec.kind == "sink":
+                        continue
+                    key = self._checkpoint_key(checkpoint_id, op_id, task.index)
+                    data = self.blob_store.get(key)
+                    snapshots[(op_id, task.index)] = (
+                        serde.decode(data) if task.spec.kind == "source" else data
+                    )
+        except BlobNotFoundError as exc:
+            raise CheckpointError(
+                f"checkpoint {checkpoint_id} is incomplete: {exc}"
+            ) from exc
         for op_id, tasks in self.tasks.items():
             for task in tasks:
                 for channel in task.inputs.values():
@@ -535,15 +747,20 @@ class JobRuntime:
                     channel.last_watermark = float("-inf")
                     channel.idle = False
                 task._out_watermark = float("-inf")
-                key = self._checkpoint_key(checkpoint_id, op_id, task.index)
                 if task.spec.kind == "source":
                     assert task.reader is not None
-                    task.reader.restore(serde.decode(self.blob_store.get(key)))
+                    task.reader.restore(snapshots[(op_id, task.index)])
                 elif task.spec.kind == "sink":
-                    continue
+                    task.abort_transactions()
                 else:
                     assert task.operator is not None
-                    task.operator.restore(self.blob_store.get(key))
+                    task.operator.restore(snapshots[(op_id, task.index)])
+        # Abandon any checkpoint that was mid-flight when we crashed, and
+        # never reuse an id (a zombie's stale barrier must not collide).
+        self._pending_sink_acks.clear()
+        self._next_checkpoint_id = max(self._next_checkpoint_id, checkpoint_id + 1)
+        if checkpoint_id not in self._completed_checkpoints:
+            self._completed_checkpoints.append(checkpoint_id)
 
     # -- introspection ------------------------------------------------------------
 

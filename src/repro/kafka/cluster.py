@@ -24,6 +24,8 @@ from repro.common.errors import (
     BrokerUnavailableError,
     KafkaError,
     NotEnoughReplicasError,
+    OutOfOrderSequenceError,
+    ProducerFencedError,
     TopicExistsError,
     UnknownTopicError,
 )
@@ -32,6 +34,30 @@ from repro.common.perf import PERF
 from repro.common.records import Record
 from repro.kafka.log import LogEntry, PartitionLog, _record_size
 from repro.observability.trace import SpanCollector, TraceContext
+
+
+@dataclass(frozen=True, slots=True)
+class ProducerCtx:
+    """Idempotent-produce metadata riding with one batch append.
+
+    ``base_seq`` is the sequence number of the batch's first record within
+    ``(producer_id, topic, partition)``; the cluster uses it to drop exact
+    retries and to fence zombie producer instances (stale ``epoch``).
+    """
+
+    transactional_id: str
+    producer_id: int
+    epoch: int
+    base_seq: int
+
+
+@dataclass
+class _ProducerSeqState:
+    """Last accepted batch per (producer id, topic, partition)."""
+
+    base_seq: int
+    end_seq: int  # sequence of the batch's last record
+    base_offset: int
 
 
 @dataclass
@@ -101,6 +127,14 @@ class KafkaCluster:
         self._assign_cursor = itertools.count()
         self._replication_paused = False
         self.metrics = metrics or MetricsRegistry(f"kafka.{name}")
+        # Transactional-producer control plane (Section 9.2 zero-loss +
+        # the 2PC sink's fencing).  Kept at the cluster level — like the
+        # real broker's producer-state snapshots, it survives individual
+        # broker kills and is rebuilt with the log, so a zombie is fenced
+        # even across a leader change.
+        self._txn_registry: dict[str, tuple[int, int]] = {}  # id -> (pid, epoch)
+        self._next_pid = itertools.count(1)
+        self._producer_seqs: dict[tuple[int, str, int], _ProducerSeqState] = {}
 
     # -- cluster membership ---------------------------------------------------
 
@@ -226,6 +260,88 @@ class KafkaCluster:
             return None
         return leader.replicas[(pstate.topic, pstate.partition)]
 
+    # -- transactional producers -----------------------------------------------
+
+    def init_producer(self, transactional_id: str) -> tuple[int, int]:
+        """Register (or re-register) a transactional producer.
+
+        First call for an id assigns a fresh producer id at epoch 0; every
+        later call keeps the pid and bumps the epoch, **fencing** any
+        still-live instance holding the previous epoch (the pre-failure
+        zombie of a restarted 2PC sink).  Sequence state restarts with the
+        new epoch.
+        """
+        if transactional_id in self._txn_registry:
+            pid, epoch = self._txn_registry[transactional_id]
+            epoch += 1
+        else:
+            pid, epoch = next(self._next_pid), 0
+        self._txn_registry[transactional_id] = (pid, epoch)
+        for key in [k for k in self._producer_seqs if k[0] == pid]:
+            del self._producer_seqs[key]
+        self.metrics.counter("producer_inits").inc()
+        return pid, epoch
+
+    def _check_producer(
+        self, ctx: "ProducerCtx", topic: str, partition: int, batch_len: int
+    ) -> int | None:
+        """Fence stale epochs; dedup exact batch retries.
+
+        Returns the original base offset when the batch is a duplicate of
+        the last accepted one (idempotent retry — nothing is appended), or
+        ``None`` when the batch is new and should land.
+        """
+        registered = self._txn_registry.get(ctx.transactional_id)
+        if registered is None:
+            raise ProducerFencedError(
+                f"producer {ctx.transactional_id!r} never initialized on "
+                f"{self.name}; call init_transactions() first"
+            )
+        pid, epoch = registered
+        if ctx.producer_id != pid or ctx.epoch < epoch:
+            self.metrics.counter("fenced_produces").inc()
+            raise ProducerFencedError(
+                f"producer {ctx.transactional_id!r} epoch {ctx.epoch} is "
+                f"fenced by epoch {epoch}"
+            )
+        if ctx.epoch > epoch:
+            raise KafkaError(
+                f"producer {ctx.transactional_id!r} claims unknown epoch "
+                f"{ctx.epoch} (registry has {epoch})"
+            )
+        state = self._producer_seqs.get((pid, topic, partition))
+        expected = 0 if state is None else state.end_seq + 1
+        if ctx.base_seq == expected:
+            return None
+        if (
+            state is not None
+            and ctx.base_seq == state.base_seq
+            and ctx.base_seq + batch_len - 1 == state.end_seq
+        ):
+            # Exact retry of the last accepted batch: drop it, answer with
+            # the original base offset.
+            self.metrics.counter("duplicate_batches_dropped").inc()
+            return state.base_offset
+        raise OutOfOrderSequenceError(
+            f"{topic}[{partition}]: pid {pid} sent base seq {ctx.base_seq}, "
+            f"expected {expected}"
+        )
+
+    def _record_producer_batch(
+        self, ctx: "ProducerCtx", topic: str, partition: int,
+        batch_len: int, base_offset: int,
+    ) -> None:
+        self._producer_seqs[(ctx.producer_id, topic, partition)] = (
+            _ProducerSeqState(
+                ctx.base_seq, ctx.base_seq + batch_len - 1, base_offset
+            )
+        )
+
+    def producer_epoch(self, transactional_id: str) -> int | None:
+        """Current registered epoch for an id (introspection/tests)."""
+        registered = self._txn_registry.get(transactional_id)
+        return None if registered is None else registered[1]
+
     # -- data plane --------------------------------------------------------------
 
     def append(
@@ -245,6 +361,7 @@ class KafkaCluster:
         records: "list[Record] | tuple[Record, ...]",
         acks: str = "1",
         sizes: list[int] | None = None,
+        producer_ctx: "ProducerCtx | None" = None,
     ) -> int:
         """Append a whole producer batch in one request; returns the base
         offset (record ``i`` lands at ``base + i``).
@@ -255,10 +372,22 @@ class KafkaCluster:
         ``acks=all`` the replica check happens *before* any record lands,
         so a failed call appends nothing and the whole batch is safe to
         retry.
+
+        With ``producer_ctx`` (idempotent/transactional producers) the
+        batch is additionally epoch-fenced — a zombie instance raises
+        :class:`ProducerFencedError` before anything lands — and
+        sequence-checked: an exact retry of the last accepted batch is
+        dropped and answered with its original base offset.
         """
         if PERF.enabled:
             PERF.inc("kafka.partition_resolutions")
         pstate = self._pstate(topic, partition)
+        if producer_ctx is not None and records:
+            duplicate_base = self._check_producer(
+                producer_ctx, topic, partition, len(records)
+            )
+            if duplicate_base is not None:
+                return duplicate_base
         if self._topic(topic).config.lossless:
             acks = "all"
         leader_log = self._leader_log(pstate)
@@ -287,6 +416,10 @@ class KafkaCluster:
         if sizes is None:
             sizes = [_record_size(record) for record in records]
         base = leader_log.append_batch(records, now, sizes)
+        if producer_ctx is not None:
+            self._record_producer_batch(
+                producer_ctx, topic, partition, len(records), base
+            )
         if followers:
             entries = leader_log.read(base, len(records))
             for log in followers:

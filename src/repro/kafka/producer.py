@@ -24,7 +24,7 @@ from repro.common.perf import PERF
 from repro.common.records import Record, stamp_audit_headers
 from repro.common.retry import RetryPolicy
 from repro.common.rng import seeded_rng
-from repro.kafka.cluster import KafkaCluster
+from repro.kafka.cluster import KafkaCluster, ProducerCtx
 from repro.observability.trace import (
     ORIGIN_HEADER,
     TRACE_HEADER,
@@ -94,6 +94,7 @@ class Producer:
         metrics: MetricsRegistry | None = None,
         tracer: SpanCollector | None = None,
         retry_policy: RetryPolicy | None = None,
+        transactional_id: str | None = None,
     ) -> None:
         if acks not in ("0", "1", "all"):
             raise KafkaError(f"acks must be one of '0', '1', 'all'; got {acks!r}")
@@ -119,6 +120,31 @@ class Producer:
         self._sends = 0
         self._last_flush: list[RecordMetadata] = []
         self.metrics = metrics or MetricsRegistry(f"producer.{service_name}")
+        # Idempotent/transactional mode: register with the cluster for a
+        # (pid, epoch) identity and number every record per partition, so
+        # exact batch retries dedup broker-side and a zombie instance is
+        # fenced on its first post-failover write.
+        self.transactional_id = transactional_id
+        self._pid: int | None = None
+        self._epoch: int | None = None
+        self._seqs: dict[tuple[str, int], int] = {}
+        if transactional_id is not None:
+            self.init_transactions()
+
+    def init_transactions(self) -> tuple[int, int]:
+        """(Re-)register with the cluster; bumps the epoch, fencing any
+        older instance of the same ``transactional_id`` (zombie defense of
+        the 2PC sink).  Returns the fresh ``(producer_id, epoch)``."""
+        if self.transactional_id is None:
+            raise KafkaError("producer has no transactional_id")
+        self._pid, self._epoch = self.cluster.init_producer(self.transactional_id)
+        self._seqs.clear()
+        return self._pid, self._epoch
+
+    @property
+    def epoch(self) -> int | None:
+        """Registered producer epoch (None when non-transactional)."""
+        return self._epoch
 
     def send(
         self,
@@ -191,21 +217,37 @@ class Producer:
     def _append_batch(
         self, topic: str, partition: int, records: list[Record], sizes: list[int]
     ) -> int:
-        if self.retry_policy is None:
-            return self.cluster.append_batch(
-                topic, partition, records, acks=self.acks, sizes=sizes
+        ctx = None
+        if self.transactional_id is not None:
+            assert self._pid is not None and self._epoch is not None
+            ctx = ProducerCtx(
+                self.transactional_id,
+                self._pid,
+                self._epoch,
+                self._seqs.get((topic, partition), 0),
             )
-        # Whole-batch retry is safe: the cluster verifies leadership and
-        # (under acks=all) replica liveness before any record lands, so a
-        # failed attempt appends nothing.
-        return self.retry_policy.call(
-            lambda: self.cluster.append_batch(
-                topic, partition, records, acks=self.acks, sizes=sizes
-            ),
-            retry_on=(BrokerUnavailableError, NotEnoughReplicasError),
-            clock=self.cluster.clock,
-            rng=self._retry_rng,
-        )
+        if self.retry_policy is None:
+            base = self.cluster.append_batch(
+                topic, partition, records, acks=self.acks, sizes=sizes,
+                producer_ctx=ctx,
+            )
+        else:
+            # Whole-batch retry is safe: the cluster verifies leadership and
+            # (under acks=all) replica liveness before any record lands, so a
+            # failed attempt appends nothing; with a ProducerCtx an attempt
+            # that did land dedups broker-side by sequence number anyway.
+            base = self.retry_policy.call(
+                lambda: self.cluster.append_batch(
+                    topic, partition, records, acks=self.acks, sizes=sizes,
+                    producer_ctx=ctx,
+                ),
+                retry_on=(BrokerUnavailableError, NotEnoughReplicasError),
+                clock=self.cluster.clock,
+                rng=self._retry_rng,
+            )
+        if ctx is not None:
+            self._seqs[(topic, partition)] = ctx.base_seq + len(records)
+        return base
 
     def _flush_batch(self, topic: str, partition: int) -> list[RecordMetadata]:
         batch = self._batches.pop((topic, partition), None)

@@ -200,6 +200,18 @@ class PinotController:
         pstate.position = self.tables[state.config.name].ingestion.kafka.start_offset(
             state.topic, partition
         ) + consumed_rows
+        if state.config.dedup_enabled:
+            # Rebuild the replay-dedup set from sealed segments only: rows
+            # replayed into the new consuming segment that already live in
+            # a sealed segment are duplicates; the dead consuming segment's
+            # rows are gone and must be re-ingested.
+            from repro.audit.lineage import lineage_digest
+
+            pstate.seen_digests = {
+                lineage_digest(new_owner.segments[seg_name].row(doc_id))
+                for seg_name in pstate.sealed_segments
+                for doc_id in range(new_owner.segments[seg_name].num_docs)
+            }
         if state.config.upsert_enabled:
             # Shared-nothing upsert metadata is rebuilt locally by replaying
             # the partition's sealed segments in order.

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.audit.lineage import lineage_digest
 from repro.common.errors import BrokerUnavailableError, PinotError
 from repro.common.metrics import MetricsRegistry
 from repro.kafka.cluster import KafkaCluster
@@ -64,6 +65,11 @@ class _PartitionState:
     sequence: int = 0
     sealed_segments: list[str] = field(default_factory=list)
     pending_backup: BackupHandle | None = None
+    # Content digests already ingested into this partition (dedup tables
+    # only).  On a consuming-segment restart this is rebuilt from *sealed*
+    # segments alone: the dead consuming segment's rows were lost, so their
+    # replay from Kafka is a legitimate re-ingest, not a duplicate.
+    seen_digests: set[str] = field(default_factory=set)
 
     def blocked(self) -> bool:
         return self.pending_backup is not None and not self.pending_backup.done
@@ -138,6 +144,15 @@ class RealtimeIngestion:
             for entry in entries:
                 row = dict(entry.record.value)
                 self.config.schema.validate(row)
+                if self.config.dedup_enabled:
+                    digest = lineage_digest(row)
+                    if digest in state.seen_digests:
+                        # Upstream replay (at-least-once producer); the row
+                        # is already queryable — consume past it.
+                        state.position = entry.offset + 1
+                        self.metrics.counter("rows_deduped").inc()
+                        continue
+                    state.seen_digests.add(digest)
                 doc_id = state.consuming.append(row)
                 state.position = entry.offset + 1
                 ingested += 1

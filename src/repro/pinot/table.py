@@ -25,6 +25,12 @@ class TableConfig:
     startree_config: StarTreeConfig | None = None
     upsert_enabled: bool = False
     primary_key: str | None = None
+    # Opt-in ingestion-time replay dedup: rows whose content digest was
+    # already ingested into this partition are skipped.  Shields append-only
+    # tables from the at-least-once replay of upstream producers (a Flink
+    # job re-emitting after crash-restore, a Kafka re-produce).  Mutually
+    # exclusive with upsert, which has its own per-key versioning.
+    dedup_enabled: bool = False
     replicas: int = 2
     segment_rows_threshold: int = 1000
     # The column the input stream is keyed by (the producer's hash
@@ -35,6 +41,10 @@ class TableConfig:
     partition_column: str | None = None
 
     def __post_init__(self) -> None:
+        if self.dedup_enabled and self.upsert_enabled:
+            raise PinotError(
+                f"table {self.name!r}: dedup and upsert are mutually exclusive"
+            )
         if self.upsert_enabled and self.partition_column is None:
             self.partition_column = self.primary_key
         if self.partition_column is not None and not self.schema.has_field(

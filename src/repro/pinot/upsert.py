@@ -24,6 +24,11 @@ class UpsertManager:
     partition: int
     _locations: dict[Hashable, tuple[str, int]] = field(default_factory=dict)
     _valid: dict[str, set[int]] = field(default_factory=dict)
+    # Every version of every key, in apply order: key -> [(segment, doc)].
+    # Retention needs it — when a segment holding a key's *latest* version
+    # is dropped, the newest surviving older version becomes visible again
+    # instead of the key vanishing from the table.
+    _history: dict[Hashable, list[tuple[str, int]]] = field(default_factory=dict)
     upserts: int = 0
     inserts: int = 0
 
@@ -41,6 +46,7 @@ class UpsertManager:
             self.inserts += 1
         self._locations[primary_key] = (segment_name, doc_id)
         self._valid.setdefault(segment_name, set()).add(doc_id)
+        self._history.setdefault(primary_key, []).append((segment_name, doc_id))
 
     def valid_docs(self, segment_name: str) -> set[int]:
         """Doc ids of ``segment_name`` holding a key's latest version."""
@@ -53,16 +59,31 @@ class UpsertManager:
         return len(self._locations)
 
     def drop_segment(self, segment_name: str) -> None:
-        """Forget a segment (retention); keys whose latest version lived
-        there disappear from the table."""
+        """Forget a segment (retention).
+
+        A key whose *only* versions lived there disappears from the table;
+        a key whose latest version lived there but which still has an older
+        version in a retained segment is *resurrected* at its newest
+        surviving version — dropping old data must never hide newer-enough
+        data that is still on disk.
+        """
         self._valid.pop(segment_name, None)
-        dead = [
-            key
-            for key, (seg, __) in self._locations.items()
-            if seg == segment_name
-        ]
-        for key in dead:
-            del self._locations[key]
+        for key in list(self._history):
+            versions = self._history[key]
+            survivors = [loc for loc in versions if loc[0] != segment_name]
+            if len(survivors) == len(versions):
+                continue  # key untouched by this drop
+            if not survivors:
+                del self._history[key]
+                self._locations.pop(key, None)
+                continue
+            self._history[key] = survivors
+            current = self._locations.get(key)
+            if current is not None and current[0] != segment_name:
+                continue  # latest version lives elsewhere; nothing to fix
+            seg, doc = survivors[-1]  # newest surviving version
+            self._locations[key] = (seg, doc)
+            self._valid.setdefault(seg, set()).add(doc)
 
     def rebuild_from_segments(self, segments: list[tuple[str, list[dict[str, Any]]]],
                               primary_key: str) -> None:
@@ -71,6 +92,7 @@ class UpsertManager:
         matching the shared-nothing design's recovery story)."""
         self._locations.clear()
         self._valid.clear()
+        self._history.clear()
         self.upserts = self.inserts = 0
         for segment_name, rows in segments:
             for doc_id, row in enumerate(rows):

@@ -209,8 +209,15 @@ class Platform:
         job_name: str | None = None,
         allowed_lateness: float = 0.0,
         parallelism: int = 1,
+        sink_transactional: bool = False,
     ) -> JobRuntime:
-        """Compile a FlinkSQL query and run it on the shared runtime."""
+        """Compile a FlinkSQL query and run it on the shared runtime.
+
+        ``sink_transactional=True`` makes the job's sinks 2PC/exactly-once:
+        output is buffered per checkpoint epoch and committed only on
+        checkpoint completion, so the job MUST checkpoint regularly (e.g.
+        via the chaos harness) or nothing ever reaches the sink.
+        """
         kafka = self._require_kafka()
         graph = self.sql_compiler.compile_streaming(
             sql,
@@ -219,6 +226,7 @@ class Platform:
             job_name=job_name,
             allowed_lateness=allowed_lateness,
             parallelism=parallelism,
+            sink_transactional=sink_transactional,
         )
         return self.job(graph)
 

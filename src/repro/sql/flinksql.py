@@ -115,6 +115,7 @@ class FlinkSqlCompiler:
         job_name: str | None = None,
         allowed_lateness: float = 0.0,
         parallelism: int = 1,
+        sink_transactional: bool = False,
     ) -> JobGraph:
         select = parse(sql)
         source_name = self._source_table(select)
@@ -136,7 +137,9 @@ class FlinkSqlCompiler:
         stream = self._attach_pipeline(
             select, stream, allowed_lateness, parallelism
         )
-        self._attach_sink(stream, sink_collector, sink_kafka)
+        self._attach_sink(
+            stream, sink_collector, sink_kafka, transactional=sink_transactional
+        )
         return env.build(job_name or f"flinksql-{source_name}")
 
     # -- batch target (the DataSet path of Section 7) ------------------------------
@@ -221,15 +224,20 @@ class FlinkSqlCompiler:
         )
 
     @staticmethod
-    def _attach_sink(stream, sink_collector, sink_kafka) -> None:
+    def _attach_sink(
+        stream, sink_collector, sink_kafka, transactional: bool = False
+    ) -> None:
         if sink_collector is None and sink_kafka is None:
             raise SqlPlanError("a sink (collector or Kafka topic) is required")
         if sink_collector is not None:
-            stream.sink_to_list(sink_collector)
+            stream.sink_to_list(sink_collector, transactional=transactional)
         if sink_kafka is not None:
             cluster, topic = sink_kafka
             stream.sink_to_kafka(
-                cluster, topic, key_fn=lambda row: row.get("__key__")
+                cluster,
+                topic,
+                key_fn=lambda row: row.get("__key__"),
+                transactional=transactional,
             )
 
 
