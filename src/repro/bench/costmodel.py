@@ -22,7 +22,7 @@ regenerated rather than silently shifting the gate.
 
 from __future__ import annotations
 
-COST_MODEL_VERSION = 2
+COST_MODEL_VERSION = 3
 
 #: Virtual microseconds charged per counted operation.
 COST_US: dict[str, float] = {
@@ -51,6 +51,17 @@ COST_US: dict[str, float] = {
     "pinot.segments_pruned": 0.05,  # bookkeeping per skipped segment
     "pinot.cache_hits": 1.0,  # cache lookup + epoch validation
     "pinot.cache_row_copies": 0.2,  # per cached row copied out
+    # -- presto (stage scheduler hot path) ------------------------------------
+    "presto.stage_executions": 0.5,  # stage dispatch bookkeeping
+    "presto.stage_artifact_hits": 1.0,  # artifact lookup + epoch validation
+    "presto.artifact_rows_copied": 0.2,  # per served row copied out
+    "presto.filter_rows": 0.5,  # Python-level predicate eval per row
+    "presto.agg_rows": 0.8,  # group-key tuple + accumulator update
+    "presto.project_rows": 0.8,  # output dict build per row
+    "presto.sort_rows": 0.3,  # sort-key extraction share per row
+    "presto.join_build_rows": 0.6,  # hash-table insert per build row
+    "presto.join_probe_rows": 0.4,  # hash probe per probe-side row
+    "presto.join_rows_out": 1.0,  # merged-row dict materialization
     # -- flink ---------------------------------------------------------------
     "flink.elements": 0.5,  # scheduler dequeue + dispatch
     "flink.batch_elements": 0.2,  # micro-batched dequeue + dispatch

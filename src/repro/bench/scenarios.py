@@ -1,6 +1,6 @@
 """Parameterized hot-path workloads for the perf harness.
 
-Five scenarios, one per hot layer of the stack:
+Six scenarios, one per hot layer of the stack:
 
 * ``kafka_produce_fetch`` — batched, keyed produce with ``acks=all``
   (replica bookkeeping on the append path) followed by paged fetches of
@@ -18,6 +18,10 @@ Five scenarios, one per hot layer of the stack:
 * ``presto_scan`` — PrestoSQL over the Pinot connector at predicate-only
   pushdown, so rows ship into the engine's row loop: the federated scan
   hot path.
+* ``presto_federated_join`` — a Pinot fact table joined to a Hive
+  dimension table through the stage scheduler, with query variants that
+  share plan subtrees: the planner's stage-artifact reuse and epoch
+  invalidation hot path.
 
 Each scenario is a pure function of ``(params, seed)``: every workload
 value comes from :func:`repro.common.rng.seeded_rng` and time from a
@@ -403,6 +407,143 @@ def presto_scan(params: dict, seed: int, probe) -> Outcome:
     return Outcome(records=n, sim_s=clock.now(), check=_digest(checks))
 
 
+def presto_federated_join(params: dict, seed: int, probe) -> Outcome:
+    """Federated join with stage-artifact reuse: the planner's hot path.
+
+    A Pinot realtime fact table (``rides``, keyed and partitioned by
+    city) joins a small Hive dimension table (``cities`` → region)
+    through the stage scheduler.  Every round runs four analytics
+    queries sharing the scan → join (→ aggregate) plan prefix, so with
+    ``reuse`` on (the registered configuration) the first query computes
+    the shared stages and the rest — and later rounds — are served from
+    the stage artifact store.  Midway through, an ingest burst advances
+    the rides TableEpoch, which must invalidate every rides-derived
+    artifact; the results digest covers each round's rows, so the
+    ablation with ``reuse`` off (run by the bench tests) must match
+    byte-for-byte or the store served stale data.
+    """
+    from repro.kafka.cluster import KafkaCluster, TopicConfig
+    from repro.kafka.producer import Producer
+    from repro.metadata.schema import Field, FieldRole, FieldType, Schema
+    from repro.pinot.broker import PinotBroker
+    from repro.pinot.controller import PinotController
+    from repro.pinot.recovery import PeerToPeerBackup
+    from repro.pinot.server import PinotServer
+    from repro.pinot.table import TableConfig
+    from repro.sql.presto.connector import HiveConnector, PinotConnector
+    from repro.sql.presto.engine import PrestoEngine
+    from repro.storage.blobstore import BlobStore
+    from repro.storage.hive import HiveMetastore
+
+    n = params["records"]
+    keys = params["keys"]
+    clock = SimulatedClock()
+    kafka = KafkaCluster("bench", 3, clock=clock)
+    kafka.create_topic("rides", TopicConfig(partitions=4))
+    producer = Producer(kafka, "bench", clock=clock)
+    rng = seeded_rng(seed, "bench.presto.join")
+    cities = [f"city-{i}" for i in range(keys)]
+
+    def send_rides(count: int) -> None:
+        for __ in range(count):
+            clock.advance(0.001)
+            # partition_column="city" below promises the stream is keyed
+            # by city, so key by the row's own city value.
+            row = {
+                "city": cities[rng.randrange(keys)],
+                "amount": float(rng.randrange(100)),
+                "ts": clock.now(),
+            }
+            producer.send("rides", row, key=row["city"])
+        producer.flush()
+
+    def ingest_until_caught_up() -> None:
+        while True:
+            with probe.op():
+                state.ingestion.run_step()
+            controller.backup.run_step()
+            if state.ingestion.lag() == 0 and not any(
+                s.blocked() for s in state.ingestion.partitions.values()
+            ):
+                break
+
+    send_rides(n)
+    schema = Schema(
+        "rides",
+        (
+            Field("city", FieldType.STRING),
+            Field("amount", FieldType.DOUBLE, FieldRole.METRIC),
+            Field("ts", FieldType.DOUBLE, FieldRole.TIME),
+        ),
+    )
+    controller = PinotController(
+        [PinotServer(f"s{i}") for i in range(3)],
+        PeerToPeerBackup(BlobStore()),
+    )
+    state = controller.create_realtime_table(
+        TableConfig(
+            "rides",
+            schema,
+            time_column="ts",
+            segment_rows_threshold=params["segment_rows"],
+            partition_column="city",
+        ),
+        kafka,
+        "rides",
+    )
+    ingest_until_caught_up()
+    broker = PinotBroker(controller, clock=clock)
+    metastore = HiveMetastore(BlobStore())
+    cities_schema = Schema(
+        "cities",
+        (
+            Field("city", FieldType.STRING),
+            Field("region", FieldType.STRING),
+        ),
+    )
+    dim = metastore.create_table("cities", cities_schema)
+    dim.add_rows(
+        "p0",
+        [
+            {"city": city, "region": f"region-{i % 3}"}
+            for i, city in enumerate(cities)
+        ],
+    )
+    engine = PrestoEngine(
+        {
+            "rides": PinotConnector(broker, pushdown="full"),
+            "cities": HiveConnector(metastore),
+        },
+        clock=clock,
+        artifact_reuse=params.get("reuse", True),
+    )
+    # Four variants over one scan → join → aggregate prefix: the grouped
+    # rollup, a HAVING refinement, a top-k cut, and a different aggregate
+    # set (shares scan + join but not the aggregation).
+    base = (
+        "FROM rides f JOIN cities d ON f.city = d.city GROUP BY d.region"
+    )
+    rollup = f"SELECT d.region AS region, COUNT(*) AS n, SUM(f.amount) AS total {base}"
+    queries = [
+        rollup,
+        rollup + " HAVING n > 0",
+        rollup + " ORDER BY total DESC LIMIT 2",
+        f"SELECT d.region AS region, MIN(f.amount) AS lo, MAX(f.amount) AS hi {base}",
+    ]
+    checks = []
+    for round_no in range(params["query_rounds"]):
+        if round_no == params["query_rounds"] // 2:
+            # Freshness burst: new rows advance the rides TableEpoch, so
+            # every artifact derived from the rides scan must recompute.
+            send_rides(n // 8)
+            ingest_until_caught_up()
+        for sql in queries:
+            with probe.op():
+                out = engine.execute(sql)
+            checks.append([tuple(sorted(row.items())) for row in out.rows])
+    return Outcome(records=n, sim_s=clock.now(), check=_digest(checks))
+
+
 # -- registry --------------------------------------------------------------------
 
 
@@ -502,6 +643,28 @@ SCENARIOS: tuple[ScenarioSpec, ...] = (
             "keys": 20,
             "segment_rows": 250,
             "query_rounds": 4,
+        },
+    ),
+    ScenarioSpec(
+        name="presto_federated_join",
+        fn=presto_federated_join,
+        # query_rounds, the records:segment_rows ratio and the burst share
+        # (records // 8) are fixed across modes, so per-record virtual
+        # cost — and rps — is comparable between CI's --quick run and the
+        # committed full baseline.
+        full_params={
+            "records": 6_000,
+            "keys": 12,
+            "segment_rows": 500,
+            "query_rounds": 6,
+            "reuse": True,
+        },
+        quick_params={
+            "records": 1_500,
+            "keys": 12,
+            "segment_rows": 125,
+            "query_rounds": 6,
+            "reuse": True,
         },
     ),
 )

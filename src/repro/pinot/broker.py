@@ -225,6 +225,35 @@ class PinotBroker:
             )
         return result
 
+    def estimate_rows(self, table: str, filters=()) -> tuple[int, bool]:
+        """Planning-time cardinality bound for the Presto planner.
+
+        Routes the hypothetical scan through the same ZoneMap / partition
+        pruning as a real scatter and sums ``num_docs`` of the surviving
+        segments — an upper bound on matching rows that costs no data
+        access.  Returns ``(docs, exact)``; ``exact`` is True only for an
+        unfiltered scan, where the bound *is* the row count.  Estimation
+        must never fail planning: on a degraded cluster it degrades to the
+        consuming segments' counts with ``exact=False``.
+        """
+        state = self.controller.table(table)
+        query = PinotQuery(table=table, filters=list(filters))
+        try:
+            subqueries, __ = self._route(state, query)
+        except PinotError:
+            docs = sum(
+                pstate.consuming.num_docs
+                for pstate in state.ingestion.partitions.values()
+            )
+            return docs, False
+        docs = 0
+        for server, segment_names, __ in subqueries:
+            for name in segment_names:
+                segment = server.segments.get(name)
+                if segment is not None:
+                    docs += segment.num_docs
+        return docs, not filters
+
     def _serve_cached(
         self, query: PinotQuery, rows: list[dict], start: float
     ) -> QueryResult:

@@ -120,10 +120,21 @@ class Platform:
         )
         return self
 
-    def with_presto(self, pushdown: str = "full") -> "Platform":
+    def with_presto(
+        self,
+        pushdown: str = "full",
+        workers: int = 2,
+        artifact_reuse: bool = True,
+        artifact_capacity: int = 256,
+    ) -> "Platform":
         self._pushdown = pushdown
         self.presto = PrestoEngine(
-            self._presto_catalog, clock=self.clock, tracer=self.tracer
+            self._presto_catalog,
+            clock=self.clock,
+            tracer=self.tracer,
+            workers=workers,
+            artifact_reuse=artifact_reuse,
+            artifact_capacity=artifact_capacity,
         )
         return self
 
@@ -254,6 +265,13 @@ class Platform:
         if self.presto is None:
             raise PlatformError("call with_presto() first")
         return self.presto.execute(query)
+
+    def explain(self, query: str) -> str:
+        """Render the optimized logical plan and stage DAG for ``query``
+        without executing it (byte-stable for a given catalog state)."""
+        if self.presto is None:
+            raise PlatformError("call with_presto() first")
+        return self.presto.explain(query)
 
     # -- driving simulated time --------------------------------------------
 

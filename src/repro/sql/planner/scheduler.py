@@ -1,0 +1,426 @@
+"""Stage-DAG scheduler with content-hashed, epoch-keyed artifact reuse.
+
+Executes a :class:`repro.sql.planner.physical.PhysicalPlan` over a pool
+of (simulated) workers in deterministic topological waves.  Before
+executing, the scheduler walks the DAG top-down against the
+:class:`StageArtifactStore`: a stage whose ``(content key, table epochs)``
+artifact is present is *served* — its whole input subtree is skipped.
+That is how overlapping queries share work: two queries that contain the
+same scan/join/aggregate subtree over the same table versions compute it
+once.  Epochs come from ``Connector.table_epoch`` (Pinot's TableEpoch,
+Hive's table version, the memory connector's per-table counter), so reuse
+is freshness-correct by construction — the same invalidation discipline
+as the broker's :class:`repro.pinot.broker.BrokerResultCache`, one layer
+up.  Tables whose connector cannot version them get no artifacts.
+
+Served stages still *report* like executed ones: every artifact carries
+the :class:`Evidence` its producing execution accumulated (rows shipped,
+segments pruned, filters pushed...), which parent stages fold upward just
+as if the work had run.  Query stats therefore describe what the plan
+does, whether or not the work was memoized — only ``stage_artifact_hits``
+and the PERF counters reveal the saved work.
+
+Join execution is order-restoring: scan positions ride along as tags, and
+after executing the hash joins in whatever order the optimizer chose, the
+output is sorted back to the syntactic nested-loop order.  Join
+reordering is therefore invisible in the output, byte for byte.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.common.errors import SqlPlanError
+from repro.common.perf import PERF
+from repro.sql.planner.physical import PhysicalPlan, Stage
+from repro.sql.planner.rowops import (
+    aggregate_rows,
+    conjoin,
+    eval_condition,
+    order_rows,
+    project_row,
+    to_pushed,
+    to_pushed_agg,
+)
+
+_SCALAR_CELL_TYPES = (str, int, float, bool, bytes, type(None))
+
+
+def _copy_rows(rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Isolate rows crossing the artifact boundary from caller mutation
+    (same discipline as the broker result cache)."""
+    return [
+        dict(row)
+        if all(isinstance(v, _SCALAR_CELL_TYPES) for v in row.values())
+        else copy.deepcopy(row)
+        for row in rows
+    ]
+
+
+@dataclass
+class Evidence:
+    """What executing a stage subtree shipped and pushed — the stats a
+    fresh execution would contribute to ``QueryStats``.
+
+    Transfer fields accumulate across every block; the per-block fields
+    (pushed_filters, pushed_aggregation, joined_rows) stop at subquery
+    boundaries, mirroring the pre-planner engine's per-SELECT stats."""
+
+    rows_transferred: int = 0
+    source_rows_examined: int = 0
+    servers_queried: int = 0
+    segments_scanned: int = 0
+    segments_pruned: int = 0
+    files_scanned: int = 0
+    files_pruned: int = 0
+    cache_hits: int = 0
+    pushed_filters: int = 0
+    pushed_aggregation: bool = False
+    joined_rows: int = 0
+
+    def absorb_scan(self, result) -> None:
+        """Fold one connector ScanResult's transfer stats in."""
+        self.rows_transferred += result.rows_transferred
+        self.source_rows_examined += result.source_rows_examined
+        self.servers_queried += result.servers_queried
+        self.segments_scanned += result.segments_scanned
+        self.segments_pruned += result.segments_pruned
+        self.files_scanned += result.files_scanned
+        self.files_pruned += result.files_pruned
+        self.cache_hits += 1 if result.cache_hit else 0
+
+    def absorb_input(self, inner: "Evidence", boundary: bool) -> None:
+        self.rows_transferred += inner.rows_transferred
+        self.source_rows_examined += inner.source_rows_examined
+        self.servers_queried += inner.servers_queried
+        self.segments_scanned += inner.segments_scanned
+        self.segments_pruned += inner.segments_pruned
+        self.files_scanned += inner.files_scanned
+        self.files_pruned += inner.files_pruned
+        self.cache_hits += inner.cache_hits
+        if not boundary:
+            self.pushed_filters += inner.pushed_filters
+            self.pushed_aggregation = (
+                self.pushed_aggregation or inner.pushed_aggregation
+            )
+            self.joined_rows = inner.joined_rows or self.joined_rows
+
+
+@dataclass
+class StagePayload:
+    """One stage's output: rows plus how they were produced."""
+
+    rows: list
+    aggregated: bool = False  # rows are final aggregation results
+    evidence: Evidence = field(default_factory=Evidence)
+
+    def copied(self) -> "StagePayload":
+        return StagePayload(
+            rows=_copy_rows(self.rows),
+            aggregated=self.aggregated,
+            evidence=replace(self.evidence),
+        )
+
+
+class StageArtifactStore:
+    """LRU of stage outputs keyed on content hash, validated by the epoch
+    signature of every table under the stage's subtree."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[str, tuple[tuple, StagePayload]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, key: str, epoch_sig: tuple) -> StagePayload | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        stored_sig, payload = entry
+        if stored_sig != epoch_sig:
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return payload.copied()
+
+    def put(self, key: str, epoch_sig: tuple, payload: StagePayload) -> None:
+        self._entries[key] = (epoch_sig, payload.copied())
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class StageExecution:
+    """Per-stage schedule record (explainable, span-attached).  Served
+    stages carry wave/worker -1: no worker ever ran them."""
+
+    sid: int
+    op: str
+    wave: int
+    worker: int
+    served_from_artifact: bool
+    rows_out: int
+
+
+class StageScheduler:
+    """Deterministic multi-worker executor for one physical plan.
+
+    Workers are simulated: stages are grouped into dependency waves and
+    assigned round-robin within each wave — the schedule (recorded in
+    spans and :class:`StageExecution`) is what a real worker pool would
+    produce, while execution stays single-threaded and reproducible.
+    """
+
+    def __init__(
+        self,
+        catalog: dict[str, Any],
+        workers: int = 2,
+        artifacts: StageArtifactStore | None = None,
+        tracer=None,
+        clock=None,
+    ) -> None:
+        self.catalog = catalog
+        self.workers = max(1, workers)
+        self.artifacts = artifacts
+        self.tracer = tracer
+        self.clock = clock
+
+    # -- entry point ----------------------------------------------------------
+
+    def run(
+        self, plan: PhysicalPlan, epochs: dict[str, int | None], query_id: str
+    ) -> tuple[StagePayload, list[StageExecution]]:
+        served: dict[int, StagePayload] = {}
+        needed: set[int] = set()
+
+        def signature(stage: Stage) -> tuple | None:
+            if any(epochs.get(t) is None for t in stage.tables):
+                return None  # unversionable source: never memoize
+            return tuple((t, epochs[t]) for t in stage.tables)
+
+        def probe(sid: int) -> None:
+            stage = plan.stages[sid]
+            if self.artifacts is not None:
+                sig = signature(stage)
+                if sig is not None:
+                    payload = self.artifacts.get(stage.key, sig)
+                    if payload is not None:
+                        served[sid] = payload
+                        return
+            needed.add(sid)
+            for input_sid in stage.inputs:
+                probe(input_sid)
+
+        probe(plan.root)
+
+        # Dependency waves over the needed stages (stage list is topo-sorted).
+        wave_of: dict[int, int] = {}
+        for sid in sorted(needed):
+            stage = plan.stages[sid]
+            wave_of[sid] = 1 + max(
+                (wave_of[i] for i in stage.inputs if i in wave_of), default=-1
+            )
+
+        done: dict[int, StagePayload] = dict(served)
+        executions: list[StageExecution] = []
+        slot_in_wave: dict[int, int] = {}
+        for sid, payload in sorted(served.items()):
+            stage = plan.stages[sid]
+            if PERF.enabled:
+                PERF.inc("presto.stage_artifact_hits")
+                PERF.inc("presto.artifact_rows_copied", len(payload.rows))
+            executions.append(
+                StageExecution(sid, stage.op, -1, -1, True, len(payload.rows))
+            )
+            self._record_span(query_id, stage, served=True, rows=len(payload.rows))
+        for sid in sorted(needed):
+            stage = plan.stages[sid]
+            wave = wave_of[sid]
+            slot = slot_in_wave.get(wave, 0)
+            slot_in_wave[wave] = slot + 1
+            worker = slot % self.workers
+            input_stages = [plan.stages[i] for i in stage.inputs]
+            payloads = [done[i] for i in stage.inputs]
+            payload = self._execute(stage, input_stages, payloads)
+            done[sid] = payload
+            if PERF.enabled:
+                PERF.inc("presto.stage_executions")
+            executions.append(
+                StageExecution(sid, stage.op, wave, worker, False, len(payload.rows))
+            )
+            self._record_span(
+                query_id, stage, served=False, rows=len(payload.rows),
+                wave=wave, worker=worker,
+            )
+            if self.artifacts is not None:
+                sig = signature(stage)
+                if sig is not None:
+                    self.artifacts.put(stage.key, sig, payload)
+        executions.sort(key=lambda e: e.sid)
+        return done[plan.root], executions
+
+    def _record_span(self, query_id: str, stage: Stage, served: bool, **attrs):
+        if self.tracer is None or self.clock is None:
+            return
+        now = self.clock.now()
+        self.tracer.record_span(
+            trace_id=query_id,
+            name=f"stage.{stage.op}",
+            layer="presto",
+            start=now,
+            end=now,
+            sid=stage.sid,
+            key=stage.key,
+            served_from_artifact=served,
+            **attrs,
+        )
+
+    # -- stage execution ------------------------------------------------------
+
+    def _execute(
+        self, stage: Stage, input_stages: list[Stage], payloads: list[StagePayload]
+    ) -> StagePayload:
+        if stage.op == "scan":
+            return self._execute_scan(stage)
+        evidence = Evidence()
+        for in_stage, payload in zip(input_stages, payloads):
+            evidence.absorb_input(payload.evidence, boundary=in_stage.block_boundary)
+        if stage.op == "join":
+            return self._execute_join(stage, payloads, evidence)
+        node = stage.node
+        single = payloads[0]
+        if stage.op in ("filter", "having"):
+            if PERF.enabled:
+                PERF.inc("presto.filter_rows", len(single.rows))
+            rows = [
+                r
+                for r in single.rows
+                if eval_condition(node.condition, r, node.qualified)
+            ]
+            return StagePayload(rows, single.aggregated, evidence)
+        if stage.op == "aggregate":
+            if single.aggregated:
+                # The connector already produced final groups (in canonical
+                # group order — the broker default); pass through.
+                return StagePayload(single.rows, True, evidence)
+            if PERF.enabled:
+                PERF.inc("presto.agg_rows", len(single.rows))
+            rows = aggregate_rows(
+                list(node.group_cols), list(node.aggs), single.rows, node.qualified
+            )
+            return StagePayload(rows, True, evidence)
+        if stage.op == "project":
+            if PERF.enabled:
+                PERF.inc("presto.project_rows", len(single.rows))
+            rows = [
+                project_row(list(node.items), row, node.qualified)
+                for row in single.rows
+            ]
+            return StagePayload(rows, False, evidence)
+        if stage.op == "sort":
+            if PERF.enabled:
+                PERF.inc("presto.sort_rows", len(single.rows))
+            rows = order_rows(list(node.keys), list(single.rows))
+            return StagePayload(rows, single.aggregated, evidence)
+        if stage.op == "limit":
+            rows = single.rows[: node.n] if node.n else single.rows
+            return StagePayload(rows, single.aggregated, evidence)
+        raise SqlPlanError(f"unknown stage op {stage.op!r}")
+
+    def _execute_scan(self, stage: Stage) -> StagePayload:
+        from repro.sql.presto.connector import ScanRequest
+
+        node = stage.node
+        connector = self.catalog[node.table]
+        request = ScanRequest(
+            table=node.table,
+            filters=[to_pushed(c) for c in node.filters],
+            columns=list(node.columns) if node.columns is not None else None,
+            aggregations=(
+                [to_pushed_agg(f, a) for f, a in node.aggregations]
+                if node.aggregations is not None
+                else None
+            ),
+            group_by=list(node.group_by) if node.group_by is not None else None,
+            limit=node.limit,
+        )
+        evidence = Evidence()
+        result = connector.scan(request)
+        evidence.absorb_scan(result)
+        # Runtime guard: the planner pushed work the connector declined
+        # (capability drift).  Source-side truncation is then unsound — the
+        # limit assumed filtered/aggregated rows — so re-scan untruncated
+        # and finish the declined work engine-side.
+        declined = (node.filters and not result.filters_applied) or (
+            node.aggregations is not None and not result.aggregated
+        )
+        if declined and request.limit:
+            request.limit = None
+            result = connector.scan(request)
+            evidence.absorb_scan(result)
+        rows = result.rows
+        if node.filters and not result.filters_applied:
+            condition = conjoin(list(node.filters), None)
+            rows = [r for r in rows if eval_condition(condition, r, False)]
+        if node.filters and result.filters_applied:
+            evidence.pushed_filters = len(node.filters)
+        evidence.pushed_aggregation = result.aggregated
+        return StagePayload(rows, result.aggregated, evidence)
+
+    def _execute_join(
+        self, stage: Stage, payloads: list[StagePayload], evidence: Evidence
+    ) -> StagePayload:
+        """Hash joins in optimizer order, output restored to syntactic
+        nested-loop order via per-row origin tags."""
+        node = stage.node
+        base_rows = payloads[0].rows
+        right_rows = [payload.rows for payload in payloads[1:]]
+        slots = len(node.steps)
+        joined: list[tuple[dict, tuple]] = [
+            (
+                {f"{node.base_alias}.{k}": v for k, v in row.items()},
+                (idx,) + (None,) * slots,
+            )
+            for idx, row in enumerate(base_rows)
+        ]
+        exec_order = node.exec_order or tuple(range(slots))
+        for step_idx in exec_order:
+            step = node.steps[step_idx]
+            rows = right_rows[step_idx]
+            if PERF.enabled:
+                PERF.inc("presto.join_build_rows", len(rows))
+                PERF.inc("presto.join_probe_rows", len(joined))
+            build: dict[Any, list[tuple[dict, int]]] = {}
+            for ridx, row in enumerate(rows):
+                build.setdefault(row.get(step.build_key.name), []).append((row, ridx))
+            probe_field = f"{step.probe_key.table}.{step.probe_key.name}"
+            out: list[tuple[dict, tuple]] = []
+            for row, tag in joined:
+                for match, ridx in build.get(row.get(probe_field), []):
+                    merged = dict(row)
+                    merged.update({f"{step.alias}.{k}": v for k, v in match.items()})
+                    new_tag = list(tag)
+                    new_tag[1 + step_idx] = ridx
+                    out.append((merged, tuple(new_tag)))
+            joined = out
+        if tuple(exec_order) != tuple(range(slots)):
+            # Restore the row order syntactic nested-loop execution yields:
+            # lexicographic by (base row, step-0 match, step-1 match, ...).
+            joined.sort(key=lambda pair: pair[1])
+        rows = [row for row, __ in joined]
+        if PERF.enabled:
+            PERF.inc("presto.join_rows_out", len(rows))
+        evidence.joined_rows = len(rows)
+        return StagePayload(rows, False, evidence)

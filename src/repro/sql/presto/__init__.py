@@ -1,6 +1,8 @@
 """Presto-style federated interactive SQL (Section 4.5)."""
 
 from repro.sql.presto.connector import (
+    CardinalityEstimate,
+    ConnectorCapabilities,
     HiveConnector,
     MemoryConnector,
     PinotConnector,
@@ -9,9 +11,16 @@ from repro.sql.presto.connector import (
     ScanRequest,
     ScanResult,
 )
-from repro.sql.presto.engine import PrestoEngine, QueryOutput, QueryStats
+from repro.sql.presto.engine import (
+    PlannedQuery,
+    PrestoEngine,
+    QueryOutput,
+    QueryStats,
+)
 
 __all__ = [
+    "CardinalityEstimate",
+    "ConnectorCapabilities",
     "HiveConnector",
     "MemoryConnector",
     "PinotConnector",
@@ -19,6 +28,7 @@ __all__ = [
     "PushedFilter",
     "ScanRequest",
     "ScanResult",
+    "PlannedQuery",
     "PrestoEngine",
     "QueryOutput",
     "QueryStats",

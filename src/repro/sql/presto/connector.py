@@ -15,6 +15,7 @@ measure each stage (bench C10).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Protocol
 
@@ -22,6 +23,125 @@ from repro.common.errors import SqlPlanError
 from repro.pinot.broker import PinotBroker
 from repro.pinot.query import Aggregation, Filter, PinotQuery
 from repro.storage.hive import HiveMetastore
+
+_CAPABILITY_FLAGS = ("predicate", "projection", "aggregation", "limit")
+
+# Default aggregate vocabulary for connectors migrated from the legacy
+# set[str] capability form (matches what the engine can evaluate itself).
+_DEFAULT_AGG_FUNCS = frozenset(
+    {"COUNT", "SUM", "AVG", "MIN", "MAX", "DISTINCTCOUNT"}
+)
+
+# Cardinality assigned to sources that cannot estimate at all: large, so
+# the join reorderer builds hash tables from anything it *can* cost first.
+UNKNOWN_CARDINALITY = 10**9
+
+
+@dataclass(frozen=True)
+class ConnectorCapabilities:
+    """Typed pushdown contract a connector advertises to the planner.
+
+    Replaces the old ``capabilities() -> set[str]`` form.  ``in`` checks
+    against capability names still work (``"predicate" in caps``), so
+    call sites written against the string-set API keep reading naturally.
+    """
+
+    predicate: bool = False
+    projection: bool = False
+    aggregation: bool = False
+    limit: bool = False
+    # Aggregate functions the source can finalize itself (engine-side
+    # names; COUNT DISTINCT travels as DISTINCTCOUNT).  Only consulted
+    # when ``aggregation`` is True.
+    agg_functions: frozenset[str] = frozenset()
+
+    def __contains__(self, capability: str) -> bool:
+        return capability in _CAPABILITY_FLAGS and bool(getattr(self, capability))
+
+    def to_set(self) -> set[str]:
+        return {flag for flag in _CAPABILITY_FLAGS if getattr(self, flag)}
+
+    @classmethod
+    def from_set(
+        cls, caps: set[str], agg_functions: frozenset[str] | None = None
+    ) -> "ConnectorCapabilities":
+        unknown = set(caps) - set(_CAPABILITY_FLAGS)
+        if unknown:
+            raise SqlPlanError(f"unknown connector capabilities {sorted(unknown)!r}")
+        return cls(
+            predicate="predicate" in caps,
+            projection="projection" in caps,
+            aggregation="aggregation" in caps,
+            limit="limit" in caps,
+            agg_functions=(
+                agg_functions
+                if agg_functions is not None
+                else (_DEFAULT_AGG_FUNCS if "aggregation" in caps else frozenset())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CardinalityEstimate:
+    """Planner-facing row-count estimate for one ScanRequest."""
+
+    rows: int
+    exact: bool = False  # True when ``rows`` is a real count, not a bound
+    source: str = "unknown"  # provenance annotation for explain()
+
+
+def resolve_capabilities(connector) -> ConnectorCapabilities:
+    """Capabilities of ``connector``, accepting the deprecated set form."""
+    caps = connector.capabilities()
+    if isinstance(caps, ConnectorCapabilities):
+        return caps
+    if isinstance(caps, (set, frozenset)):
+        warnings.warn(
+            f"connector {getattr(connector, 'name', connector)!r} returned "
+            "capabilities() as set[str]; return ConnectorCapabilities instead "
+            "(the set form is deprecated)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return ConnectorCapabilities.from_set(caps)
+    raise SqlPlanError(
+        f"connector capabilities must be ConnectorCapabilities or set[str], "
+        f"got {type(caps).__name__}"
+    )
+
+
+def connector_estimate(connector, request: "ScanRequest") -> CardinalityEstimate:
+    """Estimate via the connector, tolerating legacy connectors without
+    ``estimate()`` (they plan as unknown-cardinality sources)."""
+    estimate = getattr(connector, "estimate", None)
+    if estimate is None:
+        return CardinalityEstimate(UNKNOWN_CARDINALITY, False, "unknown")
+    return estimate(request)
+
+
+def connector_epoch(connector, table: str) -> int | None:
+    """Freshness epoch of ``table``, or None when the connector cannot
+    version its data (stages over such tables are never artifact-cached)."""
+    table_epoch = getattr(connector, "table_epoch", None)
+    if table_epoch is None:
+        return None
+    try:
+        return table_epoch(table)
+    except Exception:
+        return None
+
+
+def heuristic_selectivity(rows: int, filters: list["PushedFilter"]) -> int:
+    """Deterministic post-filter cardinality guess from a pre-filter bound:
+    equality-shaped predicates are assumed ~8x selective, ranges ~2x."""
+    if rows <= 0:
+        return 0
+    for flt in filters:
+        if flt.op in ("=", "IN"):
+            rows = max(1, rows // 8)
+        else:
+            rows = max(1, rows // 2)
+    return rows
 
 
 @dataclass(frozen=True)
@@ -77,11 +197,21 @@ class ScanResult:
 class Connector(Protocol):
     name: str
 
-    def capabilities(self) -> set[str]:
-        """Subset of {'predicate', 'projection', 'aggregation', 'limit'}."""
+    def capabilities(self) -> ConnectorCapabilities:
+        """What this connector can push down.  (Legacy connectors may
+        still return a set[str]; the planner resolves it through
+        :func:`resolve_capabilities` with a DeprecationWarning.)"""
         ...
 
     def scan(self, request: ScanRequest) -> ScanResult: ...
+
+    def estimate(self, request: ScanRequest) -> CardinalityEstimate:
+        """Planning-time cardinality for the scan — no data access."""
+        ...
+
+    def table_epoch(self, table: str) -> int:
+        """Freshness version of the table; bumps on every data mutation."""
+        ...
 
 
 _PINOT_FUNCS = {"COUNT", "SUM", "AVG", "MIN", "MAX", "DISTINCTCOUNT"}
@@ -97,12 +227,32 @@ class PinotConnector:
         self.broker = broker
         self.pushdown = pushdown
 
-    def capabilities(self) -> set[str]:
+    def capabilities(self) -> ConnectorCapabilities:
         if self.pushdown == "none":
-            return set()
+            return ConnectorCapabilities()
         if self.pushdown == "predicate":
-            return {"predicate"}
-        return {"predicate", "projection", "aggregation", "limit"}
+            return ConnectorCapabilities(predicate=True)
+        return ConnectorCapabilities(
+            predicate=True,
+            projection=True,
+            aggregation=True,
+            limit=True,
+            agg_functions=frozenset(_PINOT_FUNCS),
+        )
+
+    def estimate(self, request: ScanRequest) -> CardinalityEstimate:
+        """ZoneMap-informed estimate: docs in segments the broker's pruning
+        would actually scatter to, narrowed by a selectivity heuristic."""
+        filters = [self._to_pinot_filter(f) for f in request.filters]
+        docs, exact = self.broker.estimate_rows(request.table, filters)
+        if not request.filters:
+            return CardinalityEstimate(docs, exact, "pinot-zonemaps")
+        return CardinalityEstimate(
+            heuristic_selectivity(docs, request.filters), False, "pinot-zonemaps"
+        )
+
+    def table_epoch(self, table: str) -> int:
+        return self.broker.controller.table(table).epoch
 
     def scan(self, request: ScanRequest) -> ScanResult:
         caps = self.capabilities()
@@ -192,8 +342,21 @@ class HiveConnector:
         self.name = "hive"
         self.metastore = metastore
 
-    def capabilities(self) -> set[str]:
-        return {"predicate", "projection"}
+    def capabilities(self) -> ConnectorCapabilities:
+        return ConnectorCapabilities(predicate=True, projection=True)
+
+    def estimate(self, request: ScanRequest) -> CardinalityEstimate:
+        """Metastore row counts narrowed by the shared selectivity
+        heuristic — no file reads."""
+        rows = self.metastore.table(request.table).row_count()
+        if not request.filters:
+            return CardinalityEstimate(rows, True, "hive-rowcount")
+        return CardinalityEstimate(
+            heuristic_selectivity(rows, request.filters), False, "hive-rowcount"
+        )
+
+    def table_epoch(self, table: str) -> int:
+        return self.metastore.table(table).version
 
     def scan(self, request: ScanRequest) -> ScanResult:
         table = self.metastore.table(request.table)
@@ -234,12 +397,27 @@ class MemoryConnector:
     def __init__(self, tables: dict[str, list[dict[str, Any]]] | None = None) -> None:
         self.name = "memory"
         self.tables = tables or {}
+        self._epochs: dict[str, int] = {name: 1 for name in self.tables}
 
-    def capabilities(self) -> set[str]:
-        return set()
+    def capabilities(self) -> ConnectorCapabilities:
+        return ConnectorCapabilities()
+
+    def estimate(self, request: ScanRequest) -> CardinalityEstimate:
+        rows = len(self.tables.get(request.table, ()))
+        if not request.filters:
+            return CardinalityEstimate(rows, True, "memory")
+        return CardinalityEstimate(
+            heuristic_selectivity(rows, request.filters), False, "memory"
+        )
+
+    def table_epoch(self, table: str) -> int:
+        if table not in self.tables:
+            raise SqlPlanError(f"memory connector has no table {table!r}")
+        return self._epochs.get(table, 1)
 
     def add_table(self, name: str, rows: list[dict[str, Any]]) -> None:
         self.tables[name] = rows
+        self._epochs[name] = self._epochs.get(name, 0) + 1
 
     def scan(self, request: ScanRequest) -> ScanResult:
         if request.table not in self.tables:

@@ -1,41 +1,67 @@
 """The Presto-style federated query engine (Section 4.5).
 
 An MPP-in-miniature: all execution is in memory; connectors provide the
-I/O.  The planner splits each query into a pushable fragment (sent to the
-connector per its capabilities) and a residual fragment (joins, residual
-predicates, aggregation when not pushed, HAVING, ORDER BY, LIMIT) executed
-by the engine.  Queries can join tables across connectors — the "combine
-Pinot's seconds level data freshness with Presto's flexibility" story of
-Section 4.3.2, and subqueries in FROM are materialized recursively.
+I/O.  Queries flow through the planner pipeline in ``repro.sql.planner``:
+
+    parse -> logical IR -> rule optimizer -> physical stage DAG
+          -> multi-worker stage scheduler
+
+The optimizer pushes predicates, projections, aggregations and limits
+into connectors per their typed :class:`ConnectorCapabilities`, and
+reorders hash joins by connector cardinality estimates (Pinot ZoneMaps,
+Hive row counts).  The scheduler memoizes stage outputs across queries,
+keyed on ``(content-hashed plan subtree, table epochs)``, composing with
+the broker's epoch-invalidated result cache one layer down.  Queries can
+join tables across connectors — the "combine Pinot's seconds level data
+freshness with Presto's flexibility" story of Section 4.3.2 — and
+subqueries in FROM dissolve into the same stage DAG.
+
+``PrestoEngine.explain(sql)`` renders both plans byte-stably;
+``QueryOutput.plan`` carries the full :class:`PlannedQuery` so callers
+can introspect what actually ran.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.common.clock import Clock, SystemClock
 from repro.common.errors import SqlPlanError
 from repro.observability.trace import SpanCollector
-from repro.sql.parser import (
-    BoolOp,
-    Column,
-    Comparison,
-    FuncCall,
-    Literal,
-    Select,
-    SelectItem,
-    Star,
-    SubqueryRef,
-    parse,
+from repro.sql.parser import parse
+from repro.sql.planner.logical import (
+    build_logical,
+    direct_scan_nodes,
+    render,
+    scan_nodes,
 )
-from repro.sql.presto.connector import (
-    Connector,
-    PushedAggregation,
-    PushedFilter,
-    ScanRequest,
+from repro.sql.planner.physical import PhysicalPlan, build_physical, render_physical
+from repro.sql.planner.rules import optimize
+from repro.sql.planner.scheduler import StageArtifactStore, StageScheduler
+
+# Back-compat: these helpers used to be defined here; FlinkSQL and older
+# call sites import the underscore names.  They now live in
+# repro.sql.planner.rowops so every execution path shares one definition.
+from repro.sql.planner.rowops import (  # noqa: F401  (re-exports)
+    agg_alias as _agg_alias,
+    agg_final as _agg_final,
+    agg_init as _agg_init,
+    agg_update as _agg_update,
+    columns_of as _columns_of,
+    conjoin as _conjoin,
+    eval_condition as _eval_condition,
+    eval_expr as _eval_expr,
+    lookup as _lookup,
+    project_row as _project_row,
+    pushable_agg as _pushable_agg,
+    select_is_groups_and_aggs as _select_is_groups_and_aggs,
+    split_conjuncts as _split_conjuncts,
+    strip_qualifier as _strip_qualifier,
+    to_pushed as _to_pushed,
+    to_pushed_agg as _to_pushed_agg,
 )
+from repro.sql.presto.connector import Connector, connector_epoch
 
 
 @dataclass
@@ -58,35 +84,38 @@ class QueryStats:
     files_scanned: int = 0
     files_pruned: int = 0
     cache_hits: int = 0
+    # Stage scheduler evidence: how much of the plan actually ran versus
+    # was served from the cross-query stage artifact store.
+    stages_executed: int = 0
+    stage_artifact_hits: int = 0
 
-    def absorb_scan(self, result) -> None:
-        """Fold one connector ScanResult into the totals."""
-        self.rows_transferred += result.rows_transferred
-        self.source_rows_examined += result.source_rows_examined
-        self.servers_queried += result.servers_queried
-        self.segments_scanned += result.segments_scanned
-        self.segments_pruned += result.segments_pruned
-        self.files_scanned += result.files_scanned
-        self.files_pruned += result.files_pruned
-        self.cache_hits += 1 if result.cache_hit else 0
 
-    def absorb(self, inner: "QueryStats") -> None:
-        """Fold a subquery's stats into the totals."""
-        self.rows_transferred += inner.rows_transferred
-        self.source_rows_examined += inner.source_rows_examined
-        self.tables_scanned.extend(inner.tables_scanned)
-        self.servers_queried += inner.servers_queried
-        self.segments_scanned += inner.segments_scanned
-        self.segments_pruned += inner.segments_pruned
-        self.files_scanned += inner.files_scanned
-        self.files_pruned += inner.files_pruned
-        self.cache_hits += inner.cache_hits
+@dataclass
+class PlannedQuery:
+    """A query after planning but before (or after) execution."""
+
+    sql: str
+    logical: Any  # optimized logical plan root
+    physical: PhysicalPlan
+
+    def explain(self) -> str:
+        """Deterministic, byte-stable rendering of both plan layers."""
+        logical_text = "\n".join(
+            "  " + line for line in render(self.logical).splitlines()
+        )
+        return (
+            "Logical plan:\n"
+            + logical_text
+            + "\nPhysical plan:\n"
+            + render_physical(self.physical)
+        )
 
 
 @dataclass
 class QueryOutput:
     rows: list[dict[str, Any]]
     stats: QueryStats
+    plan: PlannedQuery | None = None
 
 
 class PrestoEngine:
@@ -97,18 +126,56 @@ class PrestoEngine:
         catalog: dict[str, Connector],
         clock: Clock | None = None,
         tracer: SpanCollector | None = None,
+        workers: int = 2,
+        artifact_reuse: bool = True,
+        artifact_capacity: int = 256,
     ) -> None:
         # catalog: logical table name -> connector serving it
         self.catalog = catalog
         self.clock = clock or SystemClock()
         self.tracer = tracer
+        self.artifacts = (
+            StageArtifactStore(artifact_capacity) if artifact_reuse else None
+        )
+        self.scheduler = StageScheduler(
+            catalog,
+            workers=workers,
+            artifacts=self.artifacts,
+            tracer=tracer,
+            clock=self.clock,
+        )
+        self._query_seq = 0
+
+    # -- planning -------------------------------------------------------------
+
+    def plan(self, sql: str) -> PlannedQuery:
+        """Parse, optimize and stage ``sql`` without executing it."""
+        logical = build_logical(parse(sql), self._connector_name_for)
+        logical = optimize(logical, self.catalog)
+        return PlannedQuery(sql, logical, build_physical(logical))
+
+    def explain(self, sql: str) -> str:
+        return self.plan(sql).explain()
+
+    # -- execution ------------------------------------------------------------
 
     def execute(self, sql: str) -> QueryOutput:
+        planned = self.plan(sql)
+        self._query_seq += 1
+        query_id = f"presto-q{self._query_seq:06d}"
         start = self.clock.now() if self.tracer is not None else 0.0
-        output = self._execute_select(parse(sql))
+        epochs: dict[str, int | None] = {}
+        for scan in scan_nodes(planned.logical):
+            if scan.table not in epochs:
+                epochs[scan.table] = connector_epoch(
+                    self.catalog[scan.table], scan.table
+                )
+        payload, executions = self.scheduler.run(planned.physical, epochs, query_id)
+        stats = self._fold_stats(planned, payload, executions)
+        output = QueryOutput(payload.rows, stats, planned)
         if self.tracer is not None:
             end = self.clock.now()
-            for table in dict.fromkeys(output.stats.tables_scanned):
+            for table in dict.fromkeys(stats.tables_scanned):
                 self.tracer.record_table_query(
                     table,
                     "presto",
@@ -118,469 +185,37 @@ class PrestoEngine:
                 )
         return output
 
-    # -- planning & execution -------------------------------------------------
+    # -- helpers --------------------------------------------------------------
 
-    def _execute_select(self, select: Select) -> QueryOutput:
-        stats = QueryStats()
-        if select.window() is not None:
-            raise SqlPlanError(
-                "TUMBLE/HOP windows are streaming SQL; use FlinkSqlCompiler"
-            )
-        if select.joins:
-            rows = self._execute_join(select, stats)
-            rows = self._apply_residual(select, rows, stats, joined=True)
-        else:
-            rows = self._execute_single(select, stats)
-        return QueryOutput(rows, stats)
-
-    # -- single-table path with pushdown ----------------------------------------
-
-    def _execute_single(self, select: Select, stats: QueryStats) -> list[dict]:
-        source = select.source
-        if isinstance(source, SubqueryRef):
-            inner = self._execute_select(source.select)
-            stats.absorb(inner.stats)
-            rows = inner.rows
-            return self._apply_residual(select, rows, stats, joined=False)
-        connector = self._connector_for(source.name)
-        stats.connectors_used.append(connector.name)
-        stats.tables_scanned.append(source.name)
-        caps = connector.capabilities()
-        pushable, residual = _split_conjuncts(select.where)
-        push_filters = pushable if "predicate" in caps else []
-        if "predicate" not in caps:
-            residual = _conjoin(pushable, residual)
-            pushable = []
-        aggs = select.aggregations()
-        group_cols = [c.name for c in select.group_columns()]
-        can_push_agg = (
-            "aggregation" in caps
-            and aggs
-            and not residual
-            and select.having is None
-            and all(_pushable_agg(f) for f, __ in aggs)
-            and _select_is_groups_and_aggs(select)
-        )
-        request = ScanRequest(
-            table=source.name,
-            filters=[_to_pushed(c) for c in push_filters],
-            columns=self._needed_columns(select) if "projection" in caps else None,
-            aggregations=(
-                [_to_pushed_agg(f, alias) for f, alias in aggs]
-                if can_push_agg
-                else None
-            ),
-            group_by=group_cols if can_push_agg else None,
-            limit=select.limit,
-        )
-        result = connector.scan(request)
-        stats.absorb_scan(result)
-        stats.pushed_filters += len(push_filters) if result.filters_applied else 0
-        stats.pushed_aggregation = result.aggregated
-        rows = result.rows
-        if not result.filters_applied and pushable:
-            residual = _conjoin(pushable, residual)
-        if result.aggregated:
-            # Connector returned final groups; only order/limit remain.
-            rows = _order_rows(select, rows)
-            return rows[: select.limit] if select.limit else rows
-        if residual is not None:
-            rows = [r for r in rows if _eval_condition(residual, r)]
-        return self._apply_projection_aggregation(select, rows)
-
-    # -- join path -------------------------------------------------------------------
-
-    def _execute_join(self, select: Select, stats: QueryStats) -> list[dict]:
-        """Hash joins, entirely in the Presto worker's memory — exactly why
-        the paper says Presto joins "cannot be used for critical use cases"
-        (Section 4.3), motivating Pinot lookup joins (future work)."""
-        base_alias, base_rows = self._scan_for_join(select.source, select, stats)
-        joined = [
-            {f"{base_alias}.{k}": v for k, v in row.items()} for row in base_rows
-        ]
-        for clause in select.joins:
-            right_alias, right_rows = self._scan_for_join(clause.table, select, stats)
-            build: dict[Any, list[dict]] = {}
-            right_key = clause.right_key
-            left_key = clause.left_key
-            # Allow the ON clause in either order.
-            if right_key.table == base_alias or (
-                left_key.table == right_alias
-            ):
-                left_key, right_key = right_key, left_key
-            for row in right_rows:
-                build.setdefault(row.get(right_key.name), []).append(row)
-            out = []
-            for row in joined:
-                key = row.get(f"{left_key.table}.{left_key.name}")
-                for match in build.get(key, []):
-                    merged = dict(row)
-                    merged.update(
-                        {f"{right_alias}.{k}": v for k, v in match.items()}
-                    )
-                    out.append(merged)
-            joined = out
-        stats.joined_rows = len(joined)
-        return joined
-
-    def _scan_for_join(self, table_source, select: Select, stats: QueryStats):
-        if isinstance(table_source, SubqueryRef):
-            inner = self._execute_select(table_source.select)
-            stats.absorb(inner.stats)
-            return table_source.alias, inner.rows
-        alias = table_source.alias or table_source.name
-        connector = self._connector_for(table_source.name)
-        stats.connectors_used.append(connector.name)
-        stats.tables_scanned.append(table_source.name)
-        caps = connector.capabilities()
-        pushable, __ = _split_conjuncts(select.where)
-        # Only predicates scoped to this alias can go down with this scan.
-        mine = [
-            c
-            for c in pushable
-            if isinstance(c.left, Column) and c.left.table in (alias, None, table_source.name)
-        ] if "predicate" in caps else []
-        # Unqualified predicates are only safe to push when there's exactly
-        # one table; in joins, require explicit qualification.
-        mine = [c for c in mine if isinstance(c.left, Column) and c.left.table == alias]
-        request = ScanRequest(
-            table=table_source.name,
-            filters=[_to_pushed(_strip_qualifier(c)) for c in mine],
-        )
-        result = connector.scan(request)
-        stats.absorb_scan(result)
-        if result.filters_applied:
-            stats.pushed_filters += len(mine)
-        return alias, result.rows
-
-    # -- residual relational algebra ------------------------------------------------
-
-    def _apply_residual(
-        self, select: Select, rows: list[dict], stats: QueryStats, joined: bool
-    ) -> list[dict]:
-        condition = select.where
-        if condition is not None:
-            if joined:
-                rows = [r for r in rows if _eval_condition(condition, r, qualified=True)]
-            else:
-                rows = [r for r in rows if _eval_condition(condition, r)]
-        return self._apply_projection_aggregation(select, rows, qualified=joined)
-
-    def _apply_projection_aggregation(
-        self, select: Select, rows: list[dict], qualified: bool = False
-    ) -> list[dict]:
-        aggs = select.aggregations()
-        if aggs:
-            rows = _aggregate_rows(select, rows, qualified)
-            if select.having is not None:
-                rows = [r for r in rows if _eval_condition(select.having, r)]
-        else:
-            rows = [_project_row(select.items, row, qualified) for row in rows]
-        rows = _order_rows(select, rows)
-        return rows[: select.limit] if select.limit else rows
-
-    # -- helpers ------------------------------------------------------------------------
-
-    def _connector_for(self, table: str) -> Connector:
+    def _connector_name_for(self, table: str) -> str:
         if table not in self.catalog:
             raise SqlPlanError(f"table {table!r} is not in the Presto catalog")
-        return self.catalog[table]
+        return self.catalog[table].name
 
-    def _needed_columns(self, select: Select) -> list[str] | None:
-        columns: set[str] = set()
-        for item in select.items:
-            if isinstance(item.expr, Star):
-                return None
-            for col in _columns_of(item.expr):
-                columns.add(col.name)
-        for g in select.group_columns():
-            columns.add(g.name)
-        if select.where is not None:
-            for col in _columns_of(select.where):
-                columns.add(col.name)
-        for expr, __ in select.order_by:
-            for col in _columns_of(expr):
-                columns.add(col.name)
-        return sorted(columns)
-
-
-# --- expression evaluation -----------------------------------------------------
-
-
-def _columns_of(node) -> list[Column]:
-    if isinstance(node, Column):
-        return [node]
-    if isinstance(node, FuncCall):
-        return [c for arg in node.args for c in _columns_of(arg)]
-    if isinstance(node, Comparison):
-        return _columns_of(node.left) + (
-            _columns_of(node.right) if node.right is not None else []
+    @staticmethod
+    def _fold_stats(planned: PlannedQuery, payload, executions) -> QueryStats:
+        evidence = payload.evidence
+        stats = QueryStats(
+            rows_transferred=evidence.rows_transferred,
+            source_rows_examined=evidence.source_rows_examined,
+            pushed_filters=evidence.pushed_filters,
+            pushed_aggregation=evidence.pushed_aggregation,
+            joined_rows=evidence.joined_rows,
+            servers_queried=evidence.servers_queried,
+            segments_scanned=evidence.segments_scanned,
+            segments_pruned=evidence.segments_pruned,
+            files_scanned=evidence.files_scanned,
+            files_pruned=evidence.files_pruned,
+            cache_hits=evidence.cache_hits,
         )
-    if isinstance(node, BoolOp):
-        return [c for operand in node.operands for c in _columns_of(operand)]
-    return []
-
-
-def _lookup(row: dict, column: Column, qualified: bool) -> Any:
-    if qualified:
-        if column.table is not None:
-            return row.get(f"{column.table}.{column.name}")
-        # Unqualified in a join: unique suffix match.
-        matches = [v for k, v in row.items() if k.endswith(f".{column.name}")]
-        if len(matches) > 1:
-            raise SqlPlanError(f"ambiguous column {column.name!r} in join")
-        return matches[0] if matches else row.get(column.name)
-    return row.get(column.name)
-
-
-def _eval_expr(node, row: dict, qualified: bool = False) -> Any:
-    if isinstance(node, Literal):
-        return node.value
-    if isinstance(node, Column):
-        return _lookup(row, node, qualified)
-    raise SqlPlanError(f"cannot evaluate expression {node!r} per-row")
-
-
-def _eval_condition(node, row: dict, qualified: bool = False) -> bool:
-    if isinstance(node, BoolOp):
-        results = (_eval_condition(op, row, qualified) for op in node.operands)
-        return all(results) if node.op == "AND" else any(results)
-    if isinstance(node, Comparison):
-        left = _eval_expr(node.left, row, qualified)
-        if node.op == "IN":
-            return left in node.values
-        if node.op == "BETWEEN":
-            return left is not None and node.low <= left <= node.high
-        right = _eval_expr(node.right, row, qualified)
-        if left is None or right is None:
-            return False
-        return {
-            "=": left == right,
-            "!=": left != right,
-            ">": left > right,
-            ">=": left >= right,
-            "<": left < right,
-            "<=": left <= right,
-        }[node.op]
-    raise SqlPlanError(f"cannot evaluate condition {node!r}")
-
-
-# --- aggregation --------------------------------------------------------------------
-
-
-def _agg_alias(func: FuncCall, alias: str | None) -> str:
-    if alias:
-        return alias
-    arg = "*"
-    if func.args and isinstance(func.args[0], Column):
-        arg = func.args[0].name
-    name = func.name.lower()
-    if func.distinct:
-        name = f"{name}_distinct"
-    return f"{name}({arg})"
-
-
-def _aggregate_rows(select: Select, rows: list[dict], qualified: bool) -> list[dict]:
-    group_cols = select.group_columns()
-    aggs = select.aggregations()
-    groups: dict[tuple, list[Any]] = {}
-    for row in rows:
-        key = tuple(_lookup(row, c, qualified) for c in group_cols)
-        states = groups.get(key)
-        if states is None:
-            states = [_agg_init(f) for f, __ in aggs]
-            groups[key] = states
-        for i, (func, __) in enumerate(aggs):
-            states[i] = _agg_update(func, states[i], row, qualified)
-    out = []
-    for key, states in groups.items():
-        result_row: dict[str, Any] = {}
-        for col, value in zip(group_cols, key):
-            result_row[col.name] = value
-        for (func, alias), stateval in zip(aggs, states):
-            result_row[_agg_alias(func, alias)] = _agg_final(func, stateval)
-        out.append(result_row)
-    if not group_cols and not out:
-        # Global aggregation over empty input still yields one row.
-        result_row = {}
-        for func, alias in aggs:
-            result_row[_agg_alias(func, alias)] = _agg_final(func, _agg_init(func))
-        out.append(result_row)
-    return out
-
-
-def _agg_init(func: FuncCall) -> Any:
-    if func.distinct:
-        return set()
-    return {
-        "COUNT": 0,
-        "SUM": 0.0,
-        "AVG": [0.0, 0],
-        "MIN": math.inf,
-        "MAX": -math.inf,
-    }.get(func.name, 0)
-
-
-def _agg_update(func: FuncCall, state: Any, row: dict, qualified: bool) -> Any:
-    if func.name == "COUNT" and (not func.args or isinstance(func.args[0], Star)):
-        if func.distinct:
-            raise SqlPlanError("COUNT(DISTINCT *) is not valid")
-        return state + 1
-    value = _eval_expr(func.args[0], row, qualified) if func.args else None
-    if value is None:
-        return state
-    if func.distinct:
-        state.add(value)
-        return state
-    if func.name == "COUNT":
-        return state + 1
-    if func.name == "SUM":
-        return state + value
-    if func.name == "AVG":
-        state[0] += value
-        state[1] += 1
-        return state
-    if func.name == "MIN":
-        return min(state, value)
-    if func.name == "MAX":
-        return max(state, value)
-    raise SqlPlanError(f"unknown aggregate function {func.name!r}")
-
-
-def _agg_final(func: FuncCall, state: Any) -> Any:
-    if func.distinct:
-        return len(state)
-    if func.name == "AVG":
-        return state[0] / state[1] if state[1] else None
-    if func.name in ("MIN", "MAX") and state in (math.inf, -math.inf):
-        return None
-    return state
-
-
-# --- projection / ordering -----------------------------------------------------------
-
-
-def _project_row(items: list[SelectItem], row: dict, qualified: bool) -> dict:
-    out: dict[str, Any] = {}
-    for item in items:
-        if isinstance(item.expr, Star):
-            out.update(row)
-        elif isinstance(item.expr, Column):
-            name = item.alias or item.expr.name
-            out[name] = _lookup(row, item.expr, qualified)
-        elif isinstance(item.expr, Literal):
-            out[item.alias or str(item.expr.value)] = item.expr.value
-        else:
-            raise SqlPlanError(f"unsupported select expression {item.expr!r}")
-    return out
-
-
-def _order_rows(select: Select, rows: list[dict]) -> list[dict]:
-    for expr, descending in reversed(select.order_by):
-        if isinstance(expr, Column):
-            name = expr.name
-        elif isinstance(expr, FuncCall):
-            name = _agg_alias(expr, None)
-            # An aliased aggregate may be ordered by its alias instead.
-            for item in select.items:
-                if item.expr == expr and item.alias:
-                    name = item.alias
-        else:
-            raise SqlPlanError(f"cannot ORDER BY {expr!r}")
-        rows.sort(key=lambda r: (r.get(name) is None, r.get(name)), reverse=descending)
-    return rows
-
-
-# --- conjunct splitting for pushdown ---------------------------------------------------
-
-
-def _split_conjuncts(condition) -> tuple[list[Comparison], Any]:
-    """(pushable simple conjuncts, residual condition)."""
-    if condition is None:
-        return [], None
-    conjuncts: list[Any] = []
-    if isinstance(condition, BoolOp) and condition.op == "AND":
-        conjuncts = list(condition.operands)
-    else:
-        conjuncts = [condition]
-    pushable: list[Comparison] = []
-    residual: list[Any] = []
-    for conjunct in conjuncts:
-        if (
-            isinstance(conjunct, Comparison)
-            and isinstance(conjunct.left, Column)
-            and (conjunct.right is None or isinstance(conjunct.right, Literal))
-        ):
-            pushable.append(conjunct)
-        else:
-            residual.append(conjunct)
-    residual_node = None
-    if len(residual) == 1:
-        residual_node = residual[0]
-    elif residual:
-        residual_node = BoolOp("AND", tuple(residual))
-    return pushable, residual_node
-
-
-def _conjoin(comparisons: list[Comparison], residual) -> Any:
-    nodes: list[Any] = list(comparisons)
-    if residual is not None:
-        nodes.append(residual)
-    if not nodes:
-        return None
-    if len(nodes) == 1:
-        return nodes[0]
-    return BoolOp("AND", tuple(nodes))
-
-
-def _to_pushed(comparison: Comparison) -> PushedFilter:
-    column = comparison.left
-    assert isinstance(column, Column)
-    return PushedFilter(
-        column=column.name,
-        op=comparison.op,
-        value=comparison.right.value if isinstance(comparison.right, Literal) else None,
-        values=comparison.values,
-        low=comparison.low,
-        high=comparison.high,
-    )
-
-
-def _strip_qualifier(comparison: Comparison) -> Comparison:
-    column = comparison.left
-    assert isinstance(column, Column)
-    return Comparison(
-        comparison.op,
-        Column(column.name),
-        comparison.right,
-        comparison.values,
-        comparison.low,
-        comparison.high,
-    )
-
-
-def _pushable_agg(func: FuncCall) -> bool:
-    if func.distinct:
-        return func.name == "COUNT" and bool(func.args)
-    return func.name in ("COUNT", "SUM", "AVG", "MIN", "MAX")
-
-
-def _select_is_groups_and_aggs(select: Select) -> bool:
-    group_names = {c.name for c in select.group_columns()}
-    for item in select.items:
-        if isinstance(item.expr, FuncCall):
-            continue
-        if isinstance(item.expr, Column) and item.expr.name in group_names:
-            continue
-        return False
-    return True
-
-
-def _to_pushed_agg(func: FuncCall, alias: str | None) -> PushedAggregation:
-    column = None
-    if func.args and isinstance(func.args[0], Column):
-        column = func.args[0].name
-    name = func.name
-    if func.distinct and name == "COUNT":
-        name = "DISTINCTCOUNT"
-    return PushedAggregation(name, column, _agg_alias(func, alias))
+        stats.tables_scanned = [s.table for s in scan_nodes(planned.logical)]
+        stats.connectors_used = [
+            s.connector for s in direct_scan_nodes(planned.logical)
+        ]
+        stats.stages_executed = sum(
+            1 for e in executions if not e.served_from_artifact
+        )
+        stats.stage_artifact_hits = sum(
+            1 for e in executions if e.served_from_artifact
+        )
+        return stats

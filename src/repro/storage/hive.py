@@ -36,6 +36,9 @@ class HiveTable:
         self._store = store
         self._partitions: dict[str, HivePartition] = {}
         self._file_counter = 0
+        # Data version: bumped on every append.  The Presto planner keys
+        # stage artifacts on it (the Hive analogue of Pinot's TableEpoch).
+        self.version = 0
 
     def add_rows(self, partition_key: str, rows: Iterable[dict[str, Any]]) -> str:
         """Append rows into a partition as a new columnar file.
@@ -57,6 +60,7 @@ class HiveTable:
         )
         part.file_keys.append(blob_key)
         part.row_count += len(rows)
+        self.version += 1
         return blob_key
 
     def partitions(self) -> list[str]:

@@ -1,0 +1,451 @@
+"""The federated planner pipeline: typed capabilities, explain(),
+pushdown correctness (including the projection-retention regressions),
+join reordering, and the epoch-keyed stage artifact store."""
+
+import warnings
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+from repro.common.errors import SqlPlanError
+from repro.common.rng import seeded_rng
+from repro.kafka.cluster import KafkaCluster, TopicConfig
+from repro.kafka.producer import Producer
+from repro.metadata.schema import Field, FieldRole, FieldType, Schema
+from repro.pinot.broker import PinotBroker
+from repro.pinot.controller import PinotController
+from repro.pinot.recovery import PeerToPeerBackup
+from repro.pinot.server import PinotServer
+from repro.pinot.table import TableConfig
+from repro.platform import Platform
+from repro.sql.planner.reference import ReferenceExecutor
+from repro.sql.presto.connector import (
+    CardinalityEstimate,
+    ConnectorCapabilities,
+    HiveConnector,
+    MemoryConnector,
+    PinotConnector,
+    ScanRequest,
+    resolve_capabilities,
+)
+from repro.sql.presto.engine import PrestoEngine
+from repro.storage.blobstore import BlobStore
+from repro.storage.hive import HiveMetastore
+
+ROWS = [
+    {"city": f"city-{i % 3}", "amount": float(i), "user": f"u{i % 7}"}
+    for i in range(30)
+]
+USERS = [{"id": f"u{i}", "name": f"name-{i}"} for i in range(7)]
+
+
+def memory_catalog():
+    return {
+        "t": MemoryConnector({"t": ROWS}),
+        "users": MemoryConnector({"users": USERS}),
+    }
+
+
+def hive_catalog():
+    metastore = HiveMetastore(BlobStore())
+    orders_schema = Schema(
+        "orders",
+        (
+            Field("city", FieldType.STRING),
+            Field("status", FieldType.STRING),
+            Field("amount", FieldType.DOUBLE, FieldRole.METRIC),
+            Field("ts", FieldType.DOUBLE, FieldRole.TIME),
+        ),
+    )
+    orders = metastore.create_table("orders", orders_schema)
+    orders.add_rows(
+        "p0",
+        [
+            {
+                "city": f"city-{i % 4}",
+                "status": "ok" if i % 3 else "bad",
+                "amount": float(i),
+                "ts": float(100 - i),
+            }
+            for i in range(40)
+        ],
+    )
+    cities_schema = Schema(
+        "cities",
+        (
+            Field("city", FieldType.STRING),
+            Field("region", FieldType.STRING),
+        ),
+    )
+    cities = metastore.create_table("cities", cities_schema)
+    cities.add_rows(
+        "p0",
+        [{"city": f"city-{i}", "region": "west" if i < 2 else "east"} for i in range(4)],
+    )
+    connector = HiveConnector(metastore)
+    return metastore, {"orders": connector, "cities": connector}
+
+
+def build_pinot(rows_count=300, threshold=100):
+    clock = SimulatedClock()
+    kafka = KafkaCluster("k", 3, clock=clock)
+    kafka.create_topic("metrics", TopicConfig(partitions=4))
+    producer = Producer(kafka, "svc", clock=clock)
+    rng = seeded_rng(1)
+    for i in range(rows_count):
+        clock.advance(0.5)
+        producer.send(
+            "metrics",
+            {"city": f"city-{rng.randrange(5)}",
+             "amount": float(rng.randrange(100)), "ts": clock.now()},
+            key=f"city-{i % 5}",
+        )
+    producer.flush()
+    schema = Schema(
+        "metrics",
+        (
+            Field("city", FieldType.STRING),
+            Field("amount", FieldType.DOUBLE, FieldRole.METRIC),
+            Field("ts", FieldType.DOUBLE, FieldRole.TIME),
+        ),
+    )
+    controller = PinotController(
+        [PinotServer(f"s{i}") for i in range(3)], PeerToPeerBackup(BlobStore())
+    )
+    state = controller.create_realtime_table(
+        TableConfig("metrics", schema, time_column="ts",
+                    segment_rows_threshold=threshold),
+        kafka, "metrics",
+    )
+    state.ingestion.run_until_caught_up()
+    return clock, kafka, state, PinotBroker(controller, clock=clock)
+
+
+class TestTypedCapabilities:
+    def test_contains_and_roundtrip(self):
+        caps = ConnectorCapabilities(predicate=True, projection=True)
+        assert "predicate" in caps and "projection" in caps
+        assert "aggregation" not in caps and "nonsense" not in caps
+        assert caps.to_set() == {"predicate", "projection"}
+        assert ConnectorCapabilities.from_set(caps.to_set()) == caps
+
+    def test_from_set_rejects_unknown_flags(self):
+        with pytest.raises(SqlPlanError):
+            ConnectorCapabilities.from_set({"predicate", "teleport"})
+
+    def test_legacy_set_connector_warns_but_still_plans(self):
+        class LegacyConnector:
+            name = "legacy"
+
+            def __init__(self):
+                self.inner = MemoryConnector({"t": ROWS})
+
+            def capabilities(self):
+                return {"predicate"}  # deprecated form
+
+            def scan(self, request):
+                result = self.inner.scan(request)
+                if request.filters:
+                    # Legacy connector honors predicates itself.
+                    from repro.sql.presto.connector import _compound_predicate
+
+                    predicate = _compound_predicate(request.filters)
+                    result.rows = [r for r in result.rows if predicate(r)]
+                    result.filters_applied = True
+                return result
+
+        engine = PrestoEngine({"t": LegacyConnector()})
+        with pytest.warns(DeprecationWarning):
+            out = engine.execute("SELECT city FROM t WHERE amount >= 28")
+        assert out.rows == [{"city": "city-1"}, {"city": "city-2"}]
+        assert out.stats.pushed_filters == 1
+
+    def test_connector_without_estimate_plans_as_unknown(self):
+        class NoEstimate:
+            name = "bare"
+
+            def capabilities(self):
+                return ConnectorCapabilities()
+
+            def scan(self, request):
+                return MemoryConnector({"t": ROWS}).scan(
+                    ScanRequest(table="t")
+                )
+
+        engine = PrestoEngine({"t": NoEstimate()})
+        out = engine.execute("SELECT COUNT(*) AS n FROM t")
+        assert out.rows == [{"n": 30}]
+
+    def test_connector_estimates(self):
+        memory = MemoryConnector({"t": ROWS})
+        exact = memory.estimate(ScanRequest(table="t"))
+        assert exact == CardinalityEstimate(30, True, "memory")
+        filtered = memory.estimate(
+            ScanRequest(table="t", filters=[_pf("city", "=", "city-0")])
+        )
+        assert not filtered.exact and 0 < filtered.rows < 30
+
+    def test_memory_epoch_bumps_and_missing_table_raises(self):
+        memory = MemoryConnector({"t": ROWS})
+        before = memory.table_epoch("t")
+        memory.add_table("t", ROWS[:5])
+        assert memory.table_epoch("t") == before + 1
+        with pytest.raises(SqlPlanError):
+            memory.table_epoch("missing")
+
+    def test_resolve_rejects_garbage(self):
+        class Bad:
+            name = "bad"
+
+            def capabilities(self):
+                return ["predicate"]
+
+        with pytest.raises(SqlPlanError):
+            resolve_capabilities(Bad())
+
+
+def _pf(column, op, value):
+    from repro.sql.presto.connector import PushedFilter
+
+    return PushedFilter(column=column, op=op, value=value)
+
+
+class TestExplain:
+    def test_single_table_annotations(self):
+        __, catalog = hive_catalog()
+        engine = PrestoEngine(catalog)
+        text = engine.explain(
+            "SELECT city FROM orders WHERE amount >= 20 ORDER BY ts LIMIT 5"
+        )
+        assert "pushed-filters: amount >= 20" in text
+        # Projection pushdown retains the ORDER BY column (ts) and the
+        # selected column; the filter was pushed so amount is not needed.
+        assert "pushed-columns: city, ts" in text
+        assert "estimate: ~" in text
+        assert "remote_scan" in text and "local_compute" in text
+
+    def test_aggregation_pushdown_annotations(self):
+        __, __, __, broker = build_pinot()
+        engine = PrestoEngine({"metrics": PinotConnector(broker, "full")})
+        text = engine.explain(
+            "SELECT city, SUM(amount) AS total FROM metrics GROUP BY city"
+        )
+        assert "pushed-aggregation: [SUM(amount) AS total] group=[city]" in text
+        assert "(pushed)" in text
+
+    def test_byte_stable_across_identical_catalogs(self):
+        sql = (
+            "SELECT o.amount, c.region FROM orders o JOIN cities c "
+            "ON o.city = c.city WHERE o.status = 'ok' ORDER BY o.ts LIMIT 7"
+        )
+        renderings = []
+        for __ in range(2):
+            __, catalog = hive_catalog()
+            engine = PrestoEngine(catalog)
+            renderings.append(engine.explain(sql))
+        assert renderings[0] == renderings[1]
+        # And stable when re-planned on the same engine.
+        engine = PrestoEngine(hive_catalog()[1])
+        assert engine.explain(sql) == engine.explain(sql)
+
+    def test_query_output_carries_plan(self):
+        engine = PrestoEngine(memory_catalog())
+        out = engine.execute("SELECT city FROM t LIMIT 1")
+        assert out.plan is not None
+        assert out.plan.explain() == engine.explain("SELECT city FROM t LIMIT 1")
+
+    def test_platform_explain(self):
+        platform = Platform().with_presto()
+        platform.presto.catalog["t"] = MemoryConnector({"t": ROWS})
+        text = platform.explain("SELECT city FROM t WHERE amount > 5")
+        assert "Logical plan:" in text and "Physical plan:" in text
+        assert platform.sql("SELECT COUNT(*) AS n FROM t").rows == [{"n": 30}]
+
+
+class TestProjectionRetention:
+    """Regressions for the historical pushdown bug: pruning the scan must
+    never drop join keys, ORDER BY columns or residual-filter columns."""
+
+    def test_join_with_order_by_unselected_column(self):
+        __, catalog = hive_catalog()
+        engine = PrestoEngine(catalog)
+        sql = (
+            "SELECT c.region, o.amount FROM orders o JOIN cities c "
+            "ON o.city = c.city WHERE o.status = 'ok' "
+            "ORDER BY o.ts LIMIT 6"
+        )
+        out = engine.execute(sql)
+        assert out.rows == ReferenceExecutor(catalog).execute(sql)
+        # The orders-side scan was pruned but kept the join key (city),
+        # the ORDER BY column (ts) and the filter column (status).
+        text = out.plan.explain()
+        assert "pushed-columns: amount, city, status, ts" in text
+
+    def test_single_table_order_by_selected_alias(self):
+        __, catalog = hive_catalog()
+        engine = PrestoEngine(catalog)
+        sql = "SELECT city, amount FROM orders ORDER BY amount DESC LIMIT 3"
+        out = engine.execute(sql)
+        assert out.rows == ReferenceExecutor(catalog).execute(sql)
+        assert [r["amount"] for r in out.rows] == [39.0, 38.0, 37.0]
+
+    def test_order_by_projected_away_column_matches_reference(self):
+        # Engine semantics (inherited from the pre-planner engine): the
+        # sort runs over *projected* rows, so ordering by a column the
+        # SELECT list dropped is a stable no-op.  The planner must
+        # reproduce that, not "fix" it — and the scan must still retain
+        # the column so both paths see identical inputs.
+        __, catalog = hive_catalog()
+        engine = PrestoEngine(catalog)
+        sql = "SELECT city FROM orders ORDER BY amount DESC LIMIT 3"
+        out = engine.execute(sql)
+        assert out.rows == ReferenceExecutor(catalog).execute(sql)
+        assert "pushed-columns: amount, city" in out.plan.explain()
+
+    def test_join_with_residual_filter_column(self):
+        __, catalog = hive_catalog()
+        engine = PrestoEngine(catalog)
+        # status appears only in the WHERE clause; amount only in ORDER BY.
+        sql = (
+            "SELECT c.region FROM orders o JOIN cities c ON o.city = c.city "
+            "WHERE o.status = 'bad' ORDER BY o.amount LIMIT 4"
+        )
+        assert engine.execute(sql).rows == ReferenceExecutor(catalog).execute(sql)
+
+
+class TestJoinReordering:
+    def test_smaller_build_side_goes_first_and_order_is_preserved(self):
+        base = [{"k": i % 10, "j": i % 4, "v": float(i)} for i in range(50)]
+        big = [{"k": i % 10, "b": f"b{i}"} for i in range(40)]
+        small = [{"j": i, "s": f"s{i}"} for i in range(4)]
+        catalog = {
+            "base": MemoryConnector({"base": base}),
+            "big": MemoryConnector({"big": big}),
+            "small": MemoryConnector({"small": small}),
+        }
+        engine = PrestoEngine(catalog)
+        sql = (
+            "SELECT b.v, x.b, s.s FROM base b "
+            "JOIN big x ON b.k = x.k JOIN small s ON b.j = s.j "
+            "ORDER BY b.v LIMIT 20"
+        )
+        text = engine.explain(sql)
+        assert "exec-order=[s, x]" in text  # small build side first
+        assert engine.execute(sql).rows == ReferenceExecutor(catalog).execute(sql)
+
+    def test_reordered_join_matches_reference_without_order_by(self):
+        base = [{"k": i % 5, "j": i % 3, "v": float(i)} for i in range(30)]
+        big = [{"k": i % 5, "b": f"b{i}"} for i in range(25)]
+        small = [{"j": i, "s": f"s{i}"} for i in range(3)]
+        catalog = {
+            "base": MemoryConnector({"base": base}),
+            "big": MemoryConnector({"big": big}),
+            "small": MemoryConnector({"small": small}),
+        }
+        engine = PrestoEngine(catalog)
+        # No ORDER BY: row order itself must match syntactic nested-loop
+        # execution even though the optimizer built `small` first.
+        sql = (
+            "SELECT b.v, x.b, s.s FROM base b "
+            "JOIN big x ON b.k = x.k JOIN small s ON b.j = s.j"
+        )
+        assert "exec-order=[s, x]" in engine.explain(sql)
+        assert engine.execute(sql).rows == ReferenceExecutor(catalog).execute(sql)
+
+
+class TestStageArtifacts:
+    def test_repeat_query_is_served_from_artifacts(self):
+        engine = PrestoEngine(memory_catalog())
+        sql = (
+            "SELECT u.name, COUNT(*) AS n FROM t o JOIN users u "
+            "ON o.user = u.id GROUP BY u.name ORDER BY n DESC LIMIT 3"
+        )
+        first = engine.execute(sql)
+        assert first.stats.stage_artifact_hits == 0
+        assert first.stats.stages_executed > 0
+        second = engine.execute(sql)
+        assert second.rows == first.rows
+        assert second.stats.stages_executed == 0
+        assert second.stats.stage_artifact_hits == 1  # served at the root
+        # Evidence is carried by the artifact: stats still describe the work.
+        assert second.stats.rows_transferred == first.stats.rows_transferred
+        assert second.stats.joined_rows == first.stats.joined_rows
+
+    def test_shared_subtree_across_different_queries(self):
+        catalog = memory_catalog()
+        engine = PrestoEngine(catalog)
+        q1 = "SELECT city, SUM(amount) AS total FROM t GROUP BY city HAVING total > 10"
+        q2 = "SELECT city, SUM(amount) AS total FROM t GROUP BY city HAVING total > 140"
+        out1 = engine.execute(q1)
+        out2 = engine.execute(q2)
+        # q2 shares the scan+aggregate prefix with q1; only HAVING ran fresh.
+        assert out2.stats.stage_artifact_hits >= 1
+        assert out2.stats.stages_executed < out1.stats.stages_executed
+        assert out1.rows == ReferenceExecutor(catalog).execute(q1)
+        assert out2.rows == ReferenceExecutor(catalog).execute(q2)
+
+    def test_memory_epoch_invalidates(self):
+        catalog = memory_catalog()
+        engine = PrestoEngine(catalog)
+        sql = "SELECT COUNT(*) AS n FROM t"
+        assert engine.execute(sql).rows == [{"n": 30}]
+        catalog["t"].add_table("t", ROWS + [dict(ROWS[0])])
+        out = engine.execute(sql)
+        assert out.rows == [{"n": 31}]
+        assert out.stats.stage_artifact_hits == 0
+
+    def test_hive_version_invalidates(self):
+        metastore, catalog = hive_catalog()
+        engine = PrestoEngine(catalog)
+        sql = "SELECT COUNT(*) AS n FROM orders"
+        assert engine.execute(sql).rows == [{"n": 40}]
+        metastore.table("orders").add_rows(
+            "p1", [{"city": "city-0", "status": "ok", "amount": 1.0, "ts": 0.0}]
+        )
+        assert engine.execute(sql).rows == [{"n": 41}]
+
+    def test_pinot_epoch_invalidates_on_ingest(self):
+        clock, kafka, state, broker = build_pinot(rows_count=120)
+        engine = PrestoEngine({"metrics": PinotConnector(broker, "full")})
+        sql = "SELECT COUNT(*) AS n FROM metrics"
+        n0 = engine.execute(sql).rows[0]["n"]
+        producer = Producer(kafka, "svc", clock=clock)
+        for i in range(10):
+            clock.advance(0.5)
+            producer.send(
+                "metrics",
+                {"city": "city-0", "amount": 1.0, "ts": clock.now()},
+                key="city-0",
+            )
+        producer.flush()
+        state.ingestion.run_until_caught_up()
+        out = engine.execute(sql)
+        assert out.rows[0]["n"] == n0 + 10
+        assert out.stats.stage_artifact_hits == 0
+
+    def test_artifact_reuse_can_be_disabled(self):
+        engine = PrestoEngine(memory_catalog(), artifact_reuse=False)
+        sql = "SELECT COUNT(*) AS n FROM t"
+        first = engine.execute(sql)
+        second = engine.execute(sql)
+        assert first.rows == second.rows
+        assert second.stats.stage_artifact_hits == 0
+        assert second.stats.stages_executed == first.stats.stages_executed
+
+    def test_served_rows_are_isolated_from_caller_mutation(self):
+        engine = PrestoEngine(memory_catalog())
+        sql = "SELECT city, amount FROM t ORDER BY amount LIMIT 2"
+        first = engine.execute(sql)
+        first.rows[0]["city"] = "vandalized"
+        second = engine.execute(sql)
+        assert second.rows[0]["city"] == "city-0"
+
+    def test_subquery_stage_shared_with_standalone_query(self):
+        catalog = memory_catalog()
+        engine = PrestoEngine(catalog)
+        inner = "SELECT city FROM t WHERE amount > 20"
+        engine.execute(inner)
+        out = engine.execute(f"SELECT COUNT(*) AS n FROM ({inner}) AS hot")
+        assert out.rows == [{"n": 9}]
+        # The inner block's stages were served from the standalone run.
+        assert out.stats.stage_artifact_hits >= 1
