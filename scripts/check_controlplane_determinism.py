@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""CI determinism gate: the surge control plane must reproduce exactly.
+
+Runs the controlplane_surge simulation twice with the same seed and
+byte-diffs the rendered decision logs (every shed, level change and
+scale action in arrival order) plus the report checksum, which also
+covers every admitted query's result digest.  Any divergence — an
+extra shed, a reordered scale action, a changed row — fails the job,
+because the shed/scale decision log is the experiment's audit trail
+and must be replayable from the seed alone.
+
+Exit codes: 0 identical, 1 diverged.
+"""
+
+from __future__ import annotations
+
+import difflib
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+#: Scaled-down surge (same shape as the bench quick params): ~6s a run.
+PARAMS = {
+    "control": True,
+    "records": 3_000,
+    "segment_rows": 250,
+    "users": 500_000,
+    "base_rps": 8.0,
+    "duration": 90.0,
+    "spike_start": 30.0,
+    "spike_end": 60.0,
+    "broker_kill_at": 45.0,
+    "broker_restart_at": 65.0,
+}
+
+
+def run_once(seed: int):
+    from repro.controlplane.surge import run_surge
+
+    report = run_surge(dict(PARAMS), seed)
+    summary = (
+        f"requests={report.requests} admitted={report.admitted} "
+        f"shed={report.shed} scale_actions={report.scale_actions} "
+        f"check={report.check}"
+    )
+    return f"{summary}\n{report.decision_log}"
+
+
+def main(seed: int = 2021) -> int:
+    first = run_once(seed)
+    second = run_once(seed)
+    if first == second:
+        print(f"controlplane surge (seed={seed}): two runs byte-identical "
+              f"({len(first)} decision-log bytes)")
+        print(first)
+        return 0
+    print(f"controlplane surge (seed={seed}): runs DIVERGED", file=sys.stderr)
+    diff = difflib.unified_diff(
+        first.splitlines(), second.splitlines(),
+        fromfile="run-1", tofile="run-2", lineterm="",
+    )
+    for line in diff:
+        print(line, file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2021
+    sys.exit(main(seed))

@@ -18,6 +18,8 @@ The package mirrors the paper's Figure 2/Figure 3 architecture:
 * ``repro.workloads``— seeded synthetic workload generators
 * ``repro.observability`` — cross-layer tracing, freshness probes, SLOs
 * ``repro.chaos``    — deterministic fault injection + recovery verification
+* ``repro.controlplane`` — SLO-tiered admission/shedding, cross-layer
+  autoscaling, million-user surge workloads
 * ``repro.platform`` — the ``Platform`` facade wiring all of the above
 
 The names below are the blessed entry points; deeper imports remain
@@ -26,6 +28,7 @@ available for specialised use.
 
 from repro.chaos.harness import ChaosHarness
 from repro.chaos.report import RecoveryReport
+from repro.controlplane import AdmissionController, ControlPlane, SurgeWorkload
 from repro.common.clock import SimulatedClock, SystemClock
 from repro.common.metrics import MetricsRegistry
 from repro.common.records import Record
@@ -108,4 +111,8 @@ __all__ = [
     "ChaosHarness",
     "RecoveryReport",
     "RetryPolicy",
+    # control plane
+    "ControlPlane",
+    "AdmissionController",
+    "SurgeWorkload",
 ]

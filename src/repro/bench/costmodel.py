@@ -22,7 +22,7 @@ regenerated rather than silently shifting the gate.
 
 from __future__ import annotations
 
-COST_MODEL_VERSION = 3
+COST_MODEL_VERSION = 4
 
 #: Virtual microseconds charged per counted operation.
 COST_US: dict[str, float] = {
@@ -62,6 +62,13 @@ COST_US: dict[str, float] = {
     "presto.join_build_rows": 0.6,  # hash-table insert per build row
     "presto.join_probe_rows": 0.4,  # hash probe per probe-side row
     "presto.join_rows_out": 1.0,  # merged-row dict materialization
+    # -- control plane -------------------------------------------------------
+    "controlplane.admission_checks": 0.3,  # tier lookup + bucket/level gate
+    "controlplane.shed_decisions": 0.3,  # decision-log line + counters
+    "controlplane.latency_observations": 0.2,  # window append + p99 guard
+    "controlplane.scaler_evals": 0.4,  # per-tick policy sweep share
+    "controlplane.scale_actions": 1.0,  # actuator call + log line
+    "controlplane.queue_submits": 0.3,  # earliest-free-worker scan
     # -- flink ---------------------------------------------------------------
     "flink.elements": 0.5,  # scheduler dequeue + dispatch
     "flink.batch_elements": 0.2,  # micro-batched dequeue + dispatch

@@ -1,6 +1,6 @@
 """Parameterized hot-path workloads for the perf harness.
 
-Six scenarios, one per hot layer of the stack:
+Seven scenarios, one per hot layer of the stack:
 
 * ``kafka_produce_fetch`` — batched, keyed produce with ``acks=all``
   (replica bookkeeping on the append path) followed by paged fetches of
@@ -22,6 +22,10 @@ Six scenarios, one per hot layer of the stack:
   dimension table through the stage scheduler, with query variants that
   share plan subtrees: the planner's stage-artifact reuse and epoch
   invalidation hot path.
+* ``controlplane_surge`` — a million-user spiking workload against the
+  whole serving path under SLO-tiered admission control and cross-layer
+  autoscaling, with a broker failure mid-spike: the control plane's
+  admission/shed/scale hot path.
 
 Each scenario is a pure function of ``(params, seed)``: every workload
 value comes from :func:`repro.common.rng.seeded_rng` and time from a
@@ -544,6 +548,28 @@ def presto_federated_join(params: dict, seed: int, probe) -> Outcome:
     return Outcome(records=n, sim_s=clock.now(), check=_digest(checks))
 
 
+# -- control plane -------------------------------------------------------------
+
+
+def controlplane_surge(params: dict, seed: int, probe) -> Outcome:
+    """The million-user surge under SLO-tiered admission + autoscaling.
+
+    Wraps :func:`repro.controlplane.surge.run_surge`: a skewed, diurnal,
+    spiking arrival stream queries a sealed serving table while a
+    telemetry firehose loads the write path and a broker dies mid-spike.
+    The control plane (admission shedding + cross-layer scaling) must
+    hold every tier's latency SLO; the ``check`` digests the admitted
+    result digests *and* the decision log, so both query semantics and
+    control decisions gate byte-identically in CI.
+    """
+    from repro.controlplane.surge import run_surge
+
+    report = run_surge(params, seed, probe)
+    return Outcome(
+        records=report.requests, sim_s=report.sim_s, check=report.check
+    )
+
+
 # -- registry --------------------------------------------------------------------
 
 
@@ -665,6 +691,39 @@ SCENARIOS: tuple[ScenarioSpec, ...] = (
             "segment_rows": 125,
             "query_rounds": 6,
             "reuse": True,
+        },
+    ),
+    ScenarioSpec(
+        name="controlplane_surge",
+        fn=controlplane_surge,
+        # The records:segment_rows ratio (segments per partition) is fixed
+        # across modes so per-query scatter cost stays comparable; the
+        # quick run shortens the timeline (duration/spike) and shrinks the
+        # table, which only *lowers* per-record virtual cost — safe for
+        # the quick-vs-full rps gate, which flags drops.
+        full_params={
+            "control": True,
+            "records": 6_000,
+            "segment_rows": 500,
+            "users": 2_000_000,
+            "base_rps": 10.0,
+            "duration": 180.0,
+            "spike_start": 60.0,
+            "spike_end": 120.0,
+            "broker_kill_at": 90.0,
+            "broker_restart_at": 125.0,
+        },
+        quick_params={
+            "control": True,
+            "records": 3_000,
+            "segment_rows": 250,
+            "users": 500_000,
+            "base_rps": 8.0,
+            "duration": 90.0,
+            "spike_start": 30.0,
+            "spike_end": 60.0,
+            "broker_kill_at": 45.0,
+            "broker_restart_at": 65.0,
         },
     ),
 )

@@ -1,0 +1,64 @@
+"""Deterministic multi-server query queue for capacity modelling.
+
+The serving layers (Pinot broker, Presto scheduler) execute queries
+in-process in this reproduction, so "queueing under overload" needs an
+explicit model: a work-conserving pool of ``workers`` where each admitted
+query occupies one worker for its (deterministic, cost-model-derived)
+service time.  Latency is ``completion - arrival``: queue wait appears
+exactly when arrivals outpace ``workers / service_time`` capacity, which
+is what the surge bench and the admission controller's p99 feedback need.
+
+Scaling is live: ``set_workers`` grows the pool (new workers are free
+immediately) or shrinks it (busy workers finish their current query
+first — we drop the *latest-free* slots).  All tie-breaks are by worker
+index, so the whole simulation is byte-deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.common.perf import PERF
+
+
+class QueryQueue:
+    """Earliest-free-worker assignment over a resizable pool."""
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self._free: list[float] = [0.0] * workers
+
+    @property
+    def workers(self) -> int:
+        return len(self._free)
+
+    def submit(self, arrival: float, service_s: float) -> tuple[float, float]:
+        """Enqueue one query; returns ``(start, completion)`` times."""
+        if PERF.enabled:
+            PERF.inc("controlplane.queue_submits")
+        best = 0
+        for i in range(1, len(self._free)):
+            if self._free[i] < self._free[best]:
+                best = i
+        start = max(arrival, self._free[best])
+        completion = start + service_s
+        self._free[best] = completion
+        return start, completion
+
+    def set_workers(self, workers: int) -> None:
+        workers = max(1, workers)
+        if workers > len(self._free):
+            # New workers come up idle: free as of "now", which for the
+            # deterministic model is "immediately available" (0.0 is safe —
+            # submit() clamps start to the arrival time).
+            self._free.extend([0.0] * (workers - len(self._free)))
+        elif workers < len(self._free):
+            # Drain the most-loaded slots: keep the earliest-free workers.
+            self._free = sorted(self._free)[:workers]
+
+    def queued_seconds(self, now: float) -> float:
+        """Total not-yet-served work in the pool, in seconds beyond now."""
+        return sum(max(0.0, t - now) for t in self._free)
+
+    def backlog_per_worker(self, now: float) -> float:
+        """Mean seconds of queued work per worker — the scaling signal."""
+        return self.queued_seconds(now) / len(self._free)

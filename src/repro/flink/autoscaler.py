@@ -87,6 +87,12 @@ class AutoScaler:
     Inputs per evaluation: input rate vs processing capacity (lag trend)
     and state size vs the budget (the stand-in for GC pressure).  Uses
     hysteresis so oscillating load does not cause flapping.
+
+    One scaler instance may serve many jobs: pass ``job_id`` so the lag
+    trend of one job never masks (or fakes) another's.  The very first
+    observation of a job counts as "growing" when it is already above the
+    scale-up threshold — a job restored with a huge backlog must not hold
+    for a full evaluation cycle waiting for a second sample.
     """
 
     def __init__(
@@ -104,7 +110,7 @@ class AutoScaler:
         self.memory_budget_bytes = memory_budget_bytes
         self.min_parallelism = min_parallelism
         self.max_parallelism = max_parallelism
-        self._last_lag: float | None = None
+        self._last_lag: dict[str, float] = {}
 
     def evaluate(
         self,
@@ -113,9 +119,11 @@ class AutoScaler:
         state_bytes: float,
         input_rate: float = 0.0,
         capacity_per_subtask: float = 5000.0,
+        job_id: str = "default",
     ) -> ScalingDecision:
-        lag_growing = self._last_lag is not None and source_lag > self._last_lag
-        self._last_lag = source_lag
+        last_lag = self._last_lag.get(job_id)
+        lag_growing = last_lag is None or source_lag > last_lag
+        self._last_lag[job_id] = source_lag
         capacity = parallelism * capacity_per_subtask
         utilization = input_rate / capacity if capacity else 1.0
 

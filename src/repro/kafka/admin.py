@@ -88,27 +88,9 @@ class SelfServeAdmin:
         if quota.used_bytes < self.expansion_threshold * quota.max_bytes_per_window:
             return 0
         cluster, __ = self.federation.locate(topic)
-        topic_obj = cluster.topics[topic]
-        current = len(topic_obj.partitions)
-        additional = current  # double
-        from repro.kafka.cluster import PartitionState
-        from repro.kafka.log import PartitionLog
-
-        broker_ids = sorted(cluster.brokers)
-        for new_partition in range(current, current + additional):
-            replicas = [
-                broker_ids[(new_partition + r) % len(broker_ids)]
-                for r in range(topic_obj.config.replication_factor)
-            ]
-            for broker_id in replicas:
-                cluster.brokers[broker_id].replicas[(topic, new_partition)] = (
-                    PartitionLog()
-                )
-            topic_obj.partitions.append(
-                PartitionState(topic, new_partition, replicas, leader=replicas[0])
-            )
-        topic_obj.config.partitions = current + additional
+        current = cluster.partition_count(topic)
+        new_count = cluster.expand_partitions(topic, additional=current)  # double
         # Give the topic headroom in the next window too.
         quota.max_bytes_per_window *= 2
         self.metrics.counter("topics_expanded").inc()
-        return current + additional
+        return new_count

@@ -230,6 +230,37 @@ class KafkaCluster:
         self.topics[name] = topic
         return topic
 
+    def expand_partitions(self, name: str, additional: int) -> int:
+        """Add ``additional`` partitions to a topic (§9.4: topics are
+        "automatically expanded" as usage grows).
+
+        Kafka cannot shrink or reshuffle existing partitions: new data
+        spreads wider via the producer's hash partitioner, old data stays
+        put, and existing consumers of the original partitions are
+        unaffected.  New partitions replicate at the topic's configured
+        factor over live brokers (preference order continues the creation
+        round-robin).  Returns the new partition count.
+        """
+        if additional <= 0:
+            raise KafkaError(f"additional partitions must be positive, got {additional}")
+        topic = self._topic(name)
+        broker_ids = sorted(self.brokers)
+        current = len(topic.partitions)
+        for partition in range(current, current + additional):
+            start = next(self._assign_cursor)
+            replicas = [
+                broker_ids[(start + r) % len(broker_ids)]
+                for r in range(topic.config.replication_factor)
+            ]
+            pstate = PartitionState(name, partition, replicas, leader=replicas[0])
+            for broker_id in replicas:
+                self.brokers[broker_id].replicas[(name, partition)] = PartitionLog()
+            self._elect_leader(pstate)
+            topic.partitions.append(pstate)
+        topic.config.partitions = current + additional
+        self.metrics.counter("partitions_expanded").inc(additional)
+        return current + additional
+
     def delete_topic(self, name: str) -> None:
         topic = self._topic(name)
         for pstate in topic.partitions:

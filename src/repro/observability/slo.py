@@ -101,6 +101,9 @@ class SloMonitor:
     def __init__(self, targets: tuple[SloTarget, ...] | list[SloTarget] = ()) -> None:
         self._targets: dict[tuple[str, str], SloTarget] = {}
         self._samples: dict[tuple[str, str], list[float]] = {}
+        # Trace ids already sampled per (use_case, metric): repeated
+        # monitoring sweeps over one collector must not double-count.
+        self._seen_traces: dict[tuple[str, str], set[str]] = {}
         for target in targets:
             self.add_target(target)
 
@@ -133,12 +136,23 @@ class SloMonitor:
         first_hop: str = "produce",
         last_hop: str = "ingest",
     ) -> int:
-        """Sample boundary-to-boundary latency of every complete trace."""
+        """Sample boundary-to-boundary latency of every complete trace.
+
+        Idempotent per trace: a trace already sampled into ``(use_case,
+        metric)`` is skipped on later sweeps, so a periodic monitoring loop
+        never double-counts a trace and skews the percentiles.  A trace
+        that is still incomplete (missing either hop) stays unmarked and is
+        picked up by the first sweep after it completes.
+        """
         added = 0
+        seen = self._seen_traces.setdefault((use_case, metric), set())
         for trace_id in collector.trace_ids():
+            if trace_id in seen:
+                continue
             latency = collector.trace_latency(trace_id, first_hop, last_hop)
             if latency is not None:
                 self.observe(use_case, metric, latency)
+                seen.add(trace_id)
                 added += 1
         return added
 

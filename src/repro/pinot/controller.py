@@ -123,6 +123,36 @@ class PinotController:
             return
         raise PinotError(f"table {table!r} has no segment {name!r}")
 
+    # -- elasticity -----------------------------------------------------------
+
+    def add_server(self, server: PinotServer) -> PinotServer:
+        """Join a new server to the pool (control-plane scale-up).
+
+        The server immediately widens the assignment pool for new tables
+        and offline-segment hosting, and pre-hosts replica copies of every
+        sealed segment (from peers or the backup store) so a later owner
+        failure recovers from it instantly.  Partition *ownership* — and
+        therefore query scatter, row order and results — is deliberately
+        left untouched: rebalancing consuming partitions would drop
+        in-flight rows and make results depend on scaler timing.
+        """
+        if server in self.servers:
+            raise PinotError(f"server {server.name!r} already joined")
+        if any(s.name == server.name for s in self.servers):
+            raise PinotError(f"server name {server.name!r} already in use")
+        self.servers.append(server)
+        for state in self.tables.values():
+            for partition, pstate in state.ingestion.partitions.items():
+                peers = [state.owners[partition]] + state.replicas[partition]
+                for seg_name in pstate.sealed_segments:
+                    if server.has_segment(seg_name):
+                        continue
+                    segment = recover_segment_p2p(
+                        seg_name, state.config.name, peers, self.backup
+                    )
+                    server.host_segment(segment)
+        return server
+
     # -- failure handling -----------------------------------------------------
 
     def kill_server(self, name: str) -> None:

@@ -84,6 +84,7 @@ class Platform:
         self._pushdown = "full"
         self._channel_capacity = DEFAULT_CHANNEL_CAPACITY
         self._coordinator: GroupCoordinator | None = None
+        self.control_plane = None  # set by with_control_plane()
 
     # -- builders -----------------------------------------------------------
 
@@ -136,6 +137,22 @@ class Platform:
             artifact_reuse=artifact_reuse,
             artifact_capacity=artifact_capacity,
         )
+        return self
+
+    def with_control_plane(self, **knobs: Any) -> "Platform":
+        """Attach SLO-tiered admission + cross-layer scaling (§3, §8).
+
+        ``knobs`` pass through to
+        :class:`~repro.controlplane.plane.ControlPlane` (targets,
+        tier_rates, eval_interval, pressure probe).  After attaching,
+        register resources via ``platform.control_plane.watch_*`` and
+        route guarded queries through ``control_plane.sql`` /
+        ``control_plane.pinot_query``; :meth:`step` evaluates the scaler
+        on its cadence and applies Flink/Pinot capacity boosts.
+        """
+        from repro.controlplane.plane import ControlPlane
+
+        self.control_plane = ControlPlane(self, **knobs)
         return self
 
     # -- kafka --------------------------------------------------------------
@@ -281,17 +298,26 @@ class Platform:
         One tick of every background loop: the clock advances, followers
         replicate, every registered Flink job runs a few scheduler rounds,
         and every Pinot table ingests one step (plus one backup upload).
+        With a control plane attached, its current capacity boosts apply
+        (extra Flink rounds for lagging jobs, extra ingest slots for
+        lagging tables) and the cross-layer scaler evaluates on its own
+        cadence.
         """
         self.clock.advance(dt)
+        cp = self.control_plane
         kafka = self.kafka
         if kafka is not None:
             kafka.replicate()
         for runtime in self.runtimes:
-            runtime.run_rounds(flink_rounds)
+            boost = cp.flink_boost(runtime.graph.name) if cp is not None else 1
+            runtime.run_rounds(flink_rounds * boost)
         if self.pinot is not None:
-            for state in self.pinot.tables.values():
-                state.ingestion.run_step()
+            for name, state in self.pinot.tables.items():
+                slots = cp.ingest_slots(name) if cp is not None else 1
+                state.ingestion.run_step(max_records_per_partition=500 * slots)
             self.pinot.backup.run_step()
+        if cp is not None:
+            cp.tick(self.clock.now())
 
     # -- chaos --------------------------------------------------------------
 

@@ -1,0 +1,62 @@
+"""The controlplane_surge scenario: SLO outcomes and registration."""
+
+from __future__ import annotations
+
+from repro.bench.scenarios import SCENARIOS
+from repro.controlplane.admission import TIER_ORDER
+from tests.controlplane.surge_fixtures import ablation_run, controlled_run
+
+
+class TestSloOutcomes:
+    def test_control_holds_the_top_tier_slo(self):
+        report = controlled_run()
+        top = report.per_tier["surge_pricing"]
+        assert top["count"] > 0
+        assert top["met"], (
+            f"surge_pricing p{top['p']:.0%} = {top['latency']:.2f}s "
+            f"exceeded its {top['target']:.2f}s target under control"
+        )
+
+    def test_ablation_violates_the_top_tier_slo(self):
+        report = ablation_run()
+        top = report.per_tier["surge_pricing"]
+        assert top["count"] > 0
+        assert not top["met"]  # the spike is genuinely past capacity
+
+    def test_control_reports_every_tier(self):
+        report = controlled_run()
+        assert set(report.per_tier) == set(TIER_ORDER)
+        assert all(entry["count"] > 0 for entry in report.per_tier.values())
+
+
+class TestScenarioRegistration:
+    def _spec(self):
+        spec = next(
+            (s for s in SCENARIOS if s.name == "controlplane_surge"), None
+        )
+        assert spec is not None, "controlplane_surge missing from SCENARIOS"
+        return spec
+
+    def test_in_quick_set(self):
+        assert self._spec().in_quick
+
+    def test_quick_params_keep_the_records_segment_ratio(self):
+        # Mode-invariance: quick mode must shrink the workload without
+        # changing per-record shape, so the drop-only rps gate stays fair.
+        spec = self._spec()
+        full = spec.full_params
+        quick = spec.quick_params
+        assert full["records"] / full["segment_rows"] == (
+            quick["records"] / quick["segment_rows"]
+        )
+        assert quick["control"] and full["control"]
+
+    def test_scenario_produces_an_outcome(self):
+        # Drive the scenario fn through the cached small run's params to
+        # confirm the Outcome plumbing (records/sim_s/check) is wired.
+        from tests.controlplane.surge_fixtures import SMALL_PARAMS, SEED
+
+        outcome = self._spec().fn(dict(SMALL_PARAMS, control=True), SEED, None)
+        assert outcome.records == controlled_run().requests
+        assert outcome.sim_s > 0
+        assert outcome.check == controlled_run().check

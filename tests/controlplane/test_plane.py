@@ -1,0 +1,149 @@
+"""Platform integration: the ControlPlane facade end to end."""
+
+from repro.metadata.schema import Field, FieldRole, FieldType, Schema
+from repro.pinot.table import TableConfig
+from repro.platform import Platform
+
+
+def _platform(**cp_knobs) -> Platform:
+    return (
+        Platform(seed=2021, tracing=False)
+        .with_kafka(num_brokers=3)
+        .with_pinot(servers=3)
+        .with_presto()
+        .with_control_plane(**cp_knobs)
+        .topic("orders", partitions=2)
+    )
+
+
+def _orders_schema() -> Schema:
+    return Schema(
+        "orders",
+        (
+            Field("city", FieldType.STRING),
+            Field("amount", FieldType.DOUBLE, FieldRole.METRIC),
+            Field("ts", FieldType.DOUBLE, FieldRole.TIME),
+        ),
+    )
+
+
+def _send_orders(p: Platform, n: int) -> None:
+    producer = p.producer("orders-service")
+    for i in range(n):
+        p.clock.advance(0.001)
+        producer.send(
+            "orders",
+            {"city": f"c{i % 4}", "amount": float(i), "ts": p.clock.now()},
+            key=f"c{i % 4}",
+        )
+    producer.flush()
+
+
+class TestGuardedQueries:
+    def test_admitted_query_returns_output(self):
+        p = _platform()
+        p.realtime_table(
+            TableConfig("orders", _orders_schema(), time_column="ts"), "orders"
+        )
+        _send_orders(p, 50)
+        for __ in range(5):
+            p.step()
+        decision, output = p.control_plane.sql(
+            "SELECT COUNT(*) AS n FROM orders", use_case="exploration"
+        )
+        assert decision.admitted
+        assert output.rows[0]["n"] == 50
+
+    def test_shed_query_returns_none(self):
+        p = _platform(tier_rates={"exploration": 0.1}, tier_burst=2.0)
+        p.realtime_table(
+            TableConfig("orders", _orders_schema(), time_column="ts"), "orders"
+        )
+        decisions = []
+        for __ in range(5):
+            d, out = p.control_plane.sql(
+                "SELECT COUNT(*) AS n FROM orders", use_case="exploration"
+            )
+            decisions.append((d.admitted, out))
+        shed = [d for d, out in decisions if not d]
+        assert shed  # budget exhausted within the burst
+        assert all(out is None for d, out in decisions if not d)
+
+    def test_latency_feedback_raises_shed_level(self):
+        p = _platform()
+        cp = p.control_plane
+        target = cp.admission.targets["surge_pricing"].target_seconds
+        for __ in range(cp.admission.min_samples):
+            cp.observe_latency("surge_pricing", 0.9 * target)
+        p.clock.advance(cp.admission.hold_s + 1.0)
+        cp.observe_latency("surge_pricing", 0.9 * target)
+        assert cp.admission.shed_level >= 1
+        d, out = cp.sql("SELECT 1 AS one FROM orders", use_case="exploration")
+        assert not d.admitted
+
+
+class TestCrossLayerWiring:
+    def test_pinot_ingest_boost_follows_lag(self):
+        p = _platform(eval_interval=1.0)
+        p.realtime_table(
+            TableConfig(
+                "orders",
+                _orders_schema(),
+                time_column="ts",
+                segment_rows_threshold=200,
+            ),
+            "orders",
+        )
+        p.control_plane.watch_pinot_table(
+            "orders", lag_threshold=100.0, lag_low=10.0
+        )
+        _send_orders(p, 2_000)
+        assert p.control_plane.ingest_slots("orders") == 1
+        p.step()  # lag >> threshold: scaler boosts ingest slots
+        assert p.control_plane.ingest_slots("orders") > 1
+
+    def test_topic_partitions_expand_under_produce_rate(self):
+        p = _platform(eval_interval=1.0)
+        p.control_plane.watch_topic("orders", max_rps_per_partition=10.0)
+        assert p.kafka.partition_count("orders") == 2
+        _send_orders(p, 500)
+        p.step()  # rate window sees 500 records over ~0.5s
+        p.step()
+        assert p.kafka.partition_count("orders") > 2
+
+    def test_presto_workers_follow_admitted_load(self):
+        p = _platform(eval_interval=1.0)
+        p.realtime_table(
+            TableConfig("orders", _orders_schema(), time_column="ts"), "orders"
+        )
+        p.control_plane.watch_presto(scale_up_threshold=2.0)
+        before = p.presto.scheduler.workers
+        for __ in range(20):
+            p.control_plane.sql(
+                "SELECT COUNT(*) AS n FROM orders", use_case="exploration"
+            )
+        p.step()
+        assert p.presto.scheduler.workers > before
+
+    def test_flink_boost_applies_extra_rounds(self):
+        p = _platform(eval_interval=1.0)
+        p.stream_table("orders", timestamp_column="ts")
+        runtime = p.streaming_sql(
+            "SELECT city, SUM(amount) AS total FROM orders "
+            "GROUP BY city, TUMBLE(ts, 5)",
+            sink_collector=[],
+            job_name="orders-agg",
+        )
+        p.control_plane.watch_flink(runtime, lag_threshold=50)
+        _send_orders(p, 1_000)
+        assert p.control_plane.flink_boost("orders-agg") == 1
+        p.step(flink_rounds=1)
+        assert p.control_plane.flink_boost("orders-agg") > 1
+
+    def test_scale_actions_are_logged(self):
+        p = _platform(eval_interval=1.0)
+        p.control_plane.watch_topic("orders", max_rps_per_partition=10.0)
+        _send_orders(p, 500)
+        p.step()
+        p.step()
+        assert "kafka.orders.partitions" in p.control_plane.log.render()

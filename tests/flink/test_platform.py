@@ -183,6 +183,34 @@ class TestAutoscaler:
         )
         assert decision.action == "hold"
 
+    def test_first_evaluation_above_threshold_scales_up(self):
+        # A job that is already drowning must not get a free pass just
+        # because the scaler has no earlier sample to compare against.
+        scaler = AutoScaler(scale_up_lag_threshold=100)
+        decision = scaler.evaluate(parallelism=2, source_lag=500, state_bytes=0)
+        assert decision.action == "scale_up"
+
+    def test_shrinking_lag_above_threshold_holds(self):
+        # With history, a draining backlog (lag shrinking) means current
+        # parallelism is winning: no scale-up.
+        scaler = AutoScaler(scale_up_lag_threshold=100)
+        scaler.evaluate(parallelism=2, source_lag=500, state_bytes=0)
+        decision = scaler.evaluate(parallelism=2, source_lag=300, state_bytes=0)
+        assert decision.action == "hold"
+
+    def test_lag_history_is_per_job(self):
+        # Job A's huge lag must not make job B's smaller-but-growing lag
+        # look like it is shrinking (the shared-scalar contamination bug).
+        scaler = AutoScaler(scale_up_lag_threshold=100)
+        scaler.evaluate(parallelism=2, source_lag=150, state_bytes=0, job_id="a")
+        scaler.evaluate(
+            parallelism=2, source_lag=10_000, state_bytes=0, job_id="b"
+        )
+        decision = scaler.evaluate(
+            parallelism=2, source_lag=300, state_bytes=0, job_id="a"
+        )
+        assert decision.action == "scale_up"
+
 
 class TestWatchdog:
     def test_restarts_stuck_job(self, kafka, producer, clock):

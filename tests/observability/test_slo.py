@@ -56,6 +56,30 @@ class TestSloEvaluation:
         [ev] = monitor.evaluate()
         assert ev.observed == 4.0
 
+    def test_repeated_sweeps_do_not_double_count(self):
+        # A periodic monitoring loop sweeps the same collector; traces
+        # already sampled must not be ingested again (they would skew the
+        # sample count and the percentile toward stale traces).
+        collector = SpanCollector()
+        collector.record_span("t1", "produce", "kafka", start=0.0, end=1.0)
+        collector.record_span("t1", "ingest", "pinot", start=3.0, end=4.0)
+        monitor = SloMonitor([SloTarget("ads", "e2e_latency", 99, 10.0)])
+        assert monitor.observe_trace_latencies("ads", collector) == 1
+        assert monitor.observe_trace_latencies("ads", collector) == 0
+        [ev] = monitor.evaluate()
+        assert ev.sample_count == 1
+
+    def test_incomplete_trace_is_picked_up_once_complete(self):
+        collector = SpanCollector()
+        collector.record_span("t1", "produce", "kafka", start=0.0, end=1.0)
+        monitor = SloMonitor([SloTarget("ads", "e2e_latency", 99, 10.0)])
+        # First sweep: trace incomplete, nothing sampled and NOT marked.
+        assert monitor.observe_trace_latencies("ads", collector) == 0
+        collector.record_span("t1", "ingest", "pinot", start=3.0, end=4.0)
+        assert monitor.observe_trace_latencies("ads", collector) == 1
+        [ev] = monitor.evaluate()
+        assert ev.sample_count == 1
+
 
 class TestTable1Targets:
     def test_all_four_use_cases_registered(self):
