@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Render a before/after throughput table from two bench reports.
+
+Reads the committed baseline (``BENCH_core.json``) and a fresh run
+(``BENCH_quick.json``), and writes a markdown table of deterministic
+rps per scenario with the relative change — the human-readable
+companion CI uploads next to the raw JSON.  Rendering is read-only:
+the regression *gate* stays in ``python -m repro.bench --baseline``.
+
+Usage: render_bench_table.py BASELINE CURRENT [OUT.md]
+
+Exit codes: 0 rendered, 2 unreadable input.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def load_scenarios(path: Path) -> dict:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read bench report {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    return doc.get("scenarios", {})
+
+
+def render(baseline: dict, current: dict) -> str:
+    lines = [
+        "| scenario | baseline rps | current rps | change |",
+        "| --- | ---: | ---: | ---: |",
+    ]
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name, {}).get("rps")
+        cur = current.get(name, {}).get("rps")
+        if base is None:
+            change = "new"
+        elif cur is None:
+            change = "missing"
+        else:
+            change = f"{cur / base - 1.0:+.1%}"
+        fmt = lambda v: f"{v:,.1f}" if v is not None else "—"
+        lines.append(f"| {name} | {fmt(base)} | {fmt(cur)} | {change} |")
+    lines.append("")
+    lines.append(
+        "rps is deterministic (op-cost model), so the quick run is "
+        "directly comparable to the committed full baseline."
+    )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline = load_scenarios(Path(argv[1]))
+    current = load_scenarios(Path(argv[2]))
+    table = render(baseline, current)
+    if len(argv) > 3:
+        Path(argv[3]).write_text(table)
+        print(f"wrote {argv[3]}")
+    print(table)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -36,6 +36,7 @@ COST_US: dict[str, float] = {
     "kafka.records_fetched": 0.15,  # per entry returned (list slice share)
     # -- pinot ---------------------------------------------------------------
     "pinot.rows_ingested": 1.5,  # schema validate + consuming append
+    "pinot.chunk_rows_ingested": 0.08,  # columnar chunk append, per row
     "pinot.cell_reads": 0.8,  # random-access bit-unpack + dict lookup
     "pinot.cells_decoded": 0.15,  # bulk forward-index decode, per cell
     "pinot.code_filter_evals": 0.1,  # integer compare in code space
@@ -69,6 +70,22 @@ COST_US: dict[str, float] = {
     "controlplane.scaler_evals": 0.4,  # per-tick policy sweep share
     "controlplane.scale_actions": 1.0,  # actuator call + log line
     "controlplane.queue_submits": 0.3,  # earliest-free-worker scan
+    # -- columnar (vectorized batch plane) ------------------------------------
+    # Per-batch/per-chunk costs amortize fixed work over every row in the
+    # batch; per-row kernel costs are an order cheaper than their row-at-a-
+    # time equivalents because the inner loop is a typed array sweep, not a
+    # dict-of-objects walk.
+    "columnar.batch_allocs": 1.0,  # ColumnBatch header + column map build
+    "columnar.batch_slices": 0.3,  # zero-copy window onto shared buffers
+    "columnar.batch_serves": 1.0,  # cache/artifact serve of a shared chunk
+    "columnar.cells_gathered": 0.03,  # take() copy of a code/value cell
+    "columnar.cells_appended": 0.02,  # builder append into a column buffer
+    "columnar.cells_sized": 0.02,  # byte-accounting share per cell
+    "columnar.rows_routed": 0.04,  # partition-id append per row (hash memoized)
+    "columnar.kernel_rows": 0.05,  # vectorized filter/project sweep per row
+    "columnar.agg_rows": 0.12,  # vectorized group-by accumulate per row
+    "columnar.rows_adapted": 0.9,  # batch<->row boundary dict (de)materialization
+    "columnar.dict_evals": 0.5,  # per-distinct predicate/hash eval on a dictionary
     # -- flink ---------------------------------------------------------------
     "flink.elements": 0.5,  # scheduler dequeue + dispatch
     "flink.batch_elements": 0.2,  # micro-batched dequeue + dispatch
@@ -76,6 +93,7 @@ COST_US: dict[str, float] = {
     "flink.cached_routes": 0.2,  # routing via pre-resolved channel wiring
     "flink.channel_pushes": 0.15,
     "flink.space_channel_checks": 0.2,  # backpressure probe per channel
+    "flink.vector_batches": 0.6,  # RecordBatch dequeue + dispatch (amortized)
 }
 
 #: Counters not in the table still cost something.

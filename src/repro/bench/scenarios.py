@@ -125,7 +125,7 @@ def kafka_produce_fetch(params: dict, seed: int, probe) -> Outcome:
 
 def flink_window(params: dict, seed: int, probe) -> Outcome:
     from repro.flink.graph import StreamEnvironment
-    from repro.flink.operators import BoundedListSource
+    from repro.flink.operators import BoundedColumnarSource, BoundedListSource
     from repro.flink.runtime import JobRuntime
     from repro.flink.windows import SumAggregate, TumblingWindows
 
@@ -141,13 +141,26 @@ def flink_window(params: dict, seed: int, probe) -> Outcome:
     clock = SimulatedClock()
     env = StreamEnvironment()
     out: list = []
+    if params.get("columnar", False):
+        # Vectorized plane: same rows, same timestamps, laid out as
+        # columns; the results digest must match the row branch exactly.
+        source = BoundedColumnarSource(
+            columns={
+                "city": [row["city"] for row, __ in elements],
+                "amount": [row["amount"] for row, __ in elements],
+            },
+            timestamps=[ts for __, ts in elements],
+            batch_size=200,
+        )
+    else:
+        source = BoundedListSource(elements, batch_size=200)
     env.add_source(
-        BoundedListSource(elements, batch_size=200), name="src",
+        source, name="src",
         parallelism=params["parallelism"],
     ) \
-        .key_by(lambda v: v["city"]) \
+        .key_by("city") \
         .window(TumblingWindows(params["window_s"])) \
-        .aggregate(SumAggregate(lambda v: v["amount"])) \
+        .aggregate(SumAggregate("amount")) \
         .sink_to_list(out)
     runtime = JobRuntime(env.build("bench-window"), clock=clock)
     while True:
@@ -189,6 +202,26 @@ def _pinot_table(params: dict, seed: int, probe):
             Field("ts", FieldType.DOUBLE, FieldRole.TIME),
         ),
     )
+    columnar = params.get("columnar", False)
+    pending: list[dict] = []
+
+    def flush_chunk() -> None:
+        from repro.columnar import ColumnBatch
+
+        batch = ColumnBatch.from_columns(
+            {
+                name: [row[name] for row in pending]
+                for name in ("city", "status", "amount", "ts")
+            }
+        )
+        producer.send_columnar(
+            "metrics",
+            batch,
+            key_column="city",
+            event_times=[row["ts"] for row in pending],
+        )
+        pending.clear()
+
     for __ in range(n):
         clock.advance(0.001)
         row = {
@@ -197,7 +230,16 @@ def _pinot_table(params: dict, seed: int, probe):
             "amount": float(rng.randrange(100)),
             "ts": clock.now(),
         }
-        producer.send("metrics", row, key=row["city"])
+        if columnar:
+            # Same rows, same rng/clock sequence — only the transport
+            # changes, so the results digest must match the row branch.
+            pending.append(row)
+            if len(pending) >= 200:
+                flush_chunk()
+        else:
+            producer.send("metrics", row, key=row["city"])
+    if pending:
+        flush_chunk()
     producer.flush()
     controller = PinotController(
         [PinotServer(f"s{i}") for i in range(3)],
@@ -397,7 +439,14 @@ def presto_scan(params: dict, seed: int, probe) -> Outcome:
     clock, broker = _pinot_table(params, seed, probe)
     n = params["records"]
     engine = PrestoEngine(
-        {"metrics": PinotConnector(broker, pushdown="predicate")}, clock=clock
+        {
+            "metrics": PinotConnector(
+                broker,
+                pushdown="predicate",
+                columnar=params.get("columnar", False),
+            )
+        },
+        clock=clock,
     )
     sql = (
         "SELECT city, COUNT(*) AS n, SUM(amount) AS total FROM metrics "
@@ -595,17 +644,22 @@ SCENARIOS: tuple[ScenarioSpec, ...] = (
     ScenarioSpec(
         name="flink_window",
         fn=flink_window,
+        # columnar=True is the registered configuration; the ablation
+        # (columnar=False, the row plane) is exercised by the bench tests
+        # and must produce a byte-identical results digest.
         full_params={
             "records": 12_000,
             "keys": 64,
             "window_s": 5.0,
             "parallelism": 2,
+            "columnar": True,
         },
         quick_params={
             "records": 3_000,
             "keys": 64,
             "window_s": 5.0,
             "parallelism": 2,
+            "columnar": True,
         },
     ),
     ScenarioSpec(
@@ -657,18 +711,23 @@ SCENARIOS: tuple[ScenarioSpec, ...] = (
         name="presto_scan",
         fn=presto_scan,
         # query_rounds and the records:segment_rows ratio are fixed across
-        # modes for the same reason as pinot.
+        # modes for the same reason as pinot.  columnar=True (chunked
+        # produce/ingest + ColumnBatch pages into the engine) is the
+        # registered configuration; the row-plane ablation is exercised by
+        # the bench tests and must digest byte-identically.
         full_params={
             "records": 8_000,
             "keys": 20,
             "segment_rows": 1_000,
             "query_rounds": 4,
+            "columnar": True,
         },
         quick_params={
             "records": 2_000,
             "keys": 20,
             "segment_rows": 250,
             "query_rounds": 4,
+            "columnar": True,
         },
     ),
     ScenarioSpec(

@@ -1,0 +1,187 @@
+"""Column batches: named vectors of equal length, exchanged zero-copy.
+
+A :class:`ColumnBatch` is what moves between operators, stages and
+caches in the vectorized plane — a mapping of column name to
+:class:`ColumnVector` plus a row count.  Batches are immutable views;
+``slice`` windows every column in O(columns), not O(cells), and
+``take`` gathers shared-dictionary codes.
+
+:class:`ColumnChunk` wraps a batch (plus per-row event times) for
+transport through Kafka: one log record carries a whole chunk, so the
+per-record costs of the row plane — entry allocation, byte-size
+encoding, fetch bookkeeping — amortize over every row in the chunk.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.common.perf import PERF
+from repro.common.serde import encoded_size
+from repro.columnar.vector import ColumnarError, ColumnVector
+
+
+class ColumnBatch:
+    """Equal-length named column vectors; the unit of vectorized exchange."""
+
+    __slots__ = ("columns", "num_rows")
+
+    def __init__(self, columns: Mapping[str, ColumnVector], num_rows: int | None = None):
+        self.columns = dict(columns)
+        if num_rows is None:
+            num_rows = len(next(iter(self.columns.values()))) if self.columns else 0
+        for name, vector in self.columns.items():
+            if len(vector) != num_rows:
+                raise ColumnarError(
+                    f"column {name!r} has {len(vector)} rows, batch has {num_rows}"
+                )
+        self.num_rows = num_rows
+        if PERF.enabled:
+            PERF.inc("columnar.batch_allocs")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[Mapping[str, Any]], column_names: Sequence[str] | None = None
+    ) -> "ColumnBatch":
+        """Adapt row dicts into a batch (the row→batch boundary)."""
+        if PERF.enabled:
+            PERF.inc("columnar.rows_adapted", len(rows))
+        if column_names is None:
+            seen: dict[str, None] = {}
+            for row in rows:
+                for name in row:
+                    seen.setdefault(name)
+            column_names = list(seen)
+        columns = {
+            name: ColumnVector.from_values([row.get(name) for row in rows])
+            for name in column_names
+        }
+        return cls(columns, num_rows=len(rows))
+
+    @classmethod
+    def from_columns(cls, data: Mapping[str, Iterable[Any]]) -> "ColumnBatch":
+        """Build a batch straight from column value lists."""
+        return cls(
+            {name: ColumnVector.from_values(values) for name, values in data.items()}
+        )
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.columns)
+
+    def column(self, name: str) -> ColumnVector:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise ColumnarError(f"no column {name!r} in batch") from None
+
+    def row(self, i: int) -> dict[str, Any]:
+        """Materialize one row dict (boundary use only, not the hot path)."""
+        return {name: vector.get(i) for name, vector in self.columns.items()}
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """Materialize all rows (the batch→row boundary)."""
+        if PERF.enabled:
+            PERF.inc("columnar.rows_adapted", self.num_rows)
+        lists = {name: vector.values_list() for name, vector in self.columns.items()}
+        names = list(lists)
+        return [
+            {name: lists[name][i] for name in names} for i in range(self.num_rows)
+        ]
+
+    # -- transforms --------------------------------------------------------
+
+    def slice(self, start: int, length: int) -> "ColumnBatch":
+        """Zero-copy row window across every column."""
+        if PERF.enabled:
+            PERF.inc("columnar.batch_slices")
+        batch = ColumnBatch.__new__(ColumnBatch)
+        batch.columns = {
+            name: vector.slice(start, length)
+            for name, vector in self.columns.items()
+        }
+        batch.num_rows = length
+        return batch
+
+    def take(self, indices: Sequence[int]) -> "ColumnBatch":
+        """Gather rows by index across every column."""
+        batch = ColumnBatch.__new__(ColumnBatch)
+        batch.columns = {
+            name: vector.take(indices) for name, vector in self.columns.items()
+        }
+        batch.num_rows = len(indices)
+        if PERF.enabled:
+            PERF.inc("columnar.batch_allocs")
+        return batch
+
+    def select(self, names: Sequence[str]) -> "ColumnBatch":
+        """Project to a subset of columns (zero-copy)."""
+        batch = ColumnBatch.__new__(ColumnBatch)
+        batch.columns = {name: self.column(name) for name in names}
+        batch.num_rows = self.num_rows
+        return batch
+
+    @staticmethod
+    def concat(batches: Sequence["ColumnBatch"]) -> "ColumnBatch":
+        if not batches:
+            return ColumnBatch({}, num_rows=0)
+        if len(batches) == 1:
+            return batches[0]
+        names = batches[0].column_names
+        columns = {
+            name: ColumnVector.concat([b.column(name) for b in batches])
+            for name in names
+        }
+        return ColumnBatch(columns, num_rows=sum(b.num_rows for b in batches))
+
+
+class ColumnChunk:
+    """A batch riding through Kafka as a single record value.
+
+    ``encoded_size`` is computed once per chunk from the plain-data
+    layout (dictionary + codes, not materialized rows), so the byte
+    accounting the broker does per record covers the whole chunk.
+    """
+
+    __slots__ = ("batch", "event_times")
+
+    def __init__(self, batch: ColumnBatch, event_times: Sequence[float]):
+        if len(event_times) != batch.num_rows:
+            raise ColumnarError(
+                f"{len(event_times)} event times for {batch.num_rows} rows"
+            )
+        self.batch = batch
+        self.event_times = list(event_times)
+
+    def __len__(self) -> int:
+        return self.batch.num_rows
+
+    def encoded_size(self) -> int:
+        """Serialized size of the columnar layout, one encode per chunk."""
+        if PERF.enabled:
+            PERF.inc("kafka.size_encodings")
+            PERF.inc(
+                "columnar.cells_sized",
+                self.batch.num_rows * max(1, len(self.batch.columns)),
+            )
+        plain = {
+            "columns": {
+                name: vector.to_plain()
+                for name, vector in self.batch.columns.items()
+            },
+            "event_times": self.event_times,
+        }
+        return encoded_size(plain)
+
+    def slice(self, start: int, length: int) -> "ColumnChunk":
+        return ColumnChunk(
+            self.batch.slice(start, length),
+            self.event_times[start : start + length],
+        )

@@ -39,6 +39,12 @@ class OperatorSpec:
     # operator payloads (exactly the ones the kind uses):
     fn: Callable | None = None
     key_fn: Callable | None = None
+    # Column-name form of key_fn, when the key is one input column.  Set
+    # via ``key_by("city")``; lets the runtime route and aggregate
+    # columnar batches in the vectorized plane without calling key_fn on
+    # materialized row objects.  key_fn is still always populated (the
+    # row path and row-only operators keep using it).
+    key_column: str | None = None
     assigner: WindowAssigner | None = None
     aggregator: AggregateFunction | None = None
     allowed_lateness: float = 0.0
@@ -199,6 +205,7 @@ class DataStream:
     env: StreamEnvironment
     op_id: str
     keyed_by: Callable | None = None
+    keyed_by_column: str | None = None
 
     def _chain(
         self,
@@ -231,8 +238,21 @@ class DataStream:
         )
         return self._chain(spec, "rebalance" if parallelism > 1 else "forward")
 
-    def key_by(self, key_fn: Callable) -> "DataStream":
-        """Logical re-keying; realized as hash partitioning on the next edge."""
+    def key_by(self, key_fn: Callable | str) -> "DataStream":
+        """Logical re-keying; realized as hash partitioning on the next edge.
+
+        Passing a column name instead of a callable keys by that input
+        column — equivalent for row streams, and additionally lets
+        columnar batches stay vectorized through the keyed exchange.
+        """
+        if isinstance(key_fn, str):
+            name = key_fn
+            return DataStream(
+                self.env,
+                self.op_id,
+                keyed_by=lambda value: value[name],
+                keyed_by_column=name,
+            )
         return DataStream(self.env, self.op_id, keyed_by=key_fn)
 
     def window(self, assigner: WindowAssigner) -> "WindowedStream":
@@ -276,6 +296,7 @@ class DataStream:
         stream = self._chain(spec, partitioning)
         if self.keyed_by is not None:
             spec.key_fn = self.keyed_by
+            spec.key_column = self.keyed_by_column
         return stream
 
     def add_sink(
@@ -343,6 +364,7 @@ class WindowedStream:
             "window",
             parallelism=parallelism,
             key_fn=self.stream.keyed_by,
+            key_column=self.stream.keyed_by_column,
             assigner=self.assigner,
             aggregator=aggregator,
             allowed_lateness=self.allowed_lateness,

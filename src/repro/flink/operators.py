@@ -18,10 +18,13 @@ from typing import Any, Callable
 
 from repro.common import serde
 from repro.common.errors import OperatorError
+from repro.common.perf import PERF
 from repro.common.records import Record
+from repro.columnar import ColumnBatch, ColumnVector
 from repro.flink.state import KeyedStateBackend
 from repro.flink.time import (
     BoundedOutOfOrdernessWatermarks,
+    RecordBatch,
     StreamRecord,
     StreamStatus,
     Watermark,
@@ -57,6 +60,18 @@ class Operator:
         for record in records:
             out.extend(self.process(record, input_index))
         return out
+
+    def process_columnar(
+        self, rbatch: RecordBatch, input_index: int = 0
+    ) -> list[Any] | None:
+        """Process a columnar batch without materializing rows.
+
+        Returns ``None`` when this operator has no vectorized kernel for
+        the batch; the runtime then adapts the batch to records and
+        falls back to :meth:`process_batch`, so row-only operators keep
+        working unchanged in a columnar pipeline.
+        """
+        return None
 
     def on_watermark(self, watermark: Watermark) -> list[Any]:
         return []
@@ -143,13 +158,19 @@ class WindowOperator(Operator):
         assigner: WindowAssigner,
         aggregator: AggregateFunction,
         allowed_lateness: float = 0.0,
+        key_column: str | None = None,
     ) -> None:
         super().__init__()
         self.assigner = assigner
         self.aggregator = aggregator
         self.allowed_lateness = allowed_lateness
+        self.key_column = key_column
         self.current_watermark = float("-inf")
         self.late_dropped = 0
+        # Once a columnar batch has been accumulated, fired results are
+        # emitted as columnar batches too, so the downstream edge stays
+        # in the vectorized plane.
+        self._columnar_fires = False
         # Representative trace per open window: the latest contributing
         # traced record.  Deliberately outside the checkpointed state —
         # traces are observability metadata, not replayable data.
@@ -177,6 +198,72 @@ class WindowOperator(Operator):
             self.state.put("acc", state_key, self.aggregator.add(record.value, acc))
             if record.trace is not None:
                 self._traces[state_key] = record.trace
+        return []
+
+    def process_columnar(
+        self, rbatch: RecordBatch, input_index: int = 0
+    ) -> list[Any] | None:
+        """Accumulate a whole columnar batch into window state.
+
+        Vectorized kernel: keys come straight from the key column's
+        vector, values from the aggregate's input column, and updates
+        run over local lists — no per-row StreamRecord or dict ever
+        materializes.  Per-(key, window) update order matches the row
+        path exactly (row order within the batch), so accumulators —
+        including float sums — are bit-identical.
+
+        Requires a declared key column and an aggregate exposing the
+        ``add_raw``/``column`` contract; session windows merge on
+        insert, which is inherently row-at-a-time.  Returns ``None``
+        in those cases so the runtime falls back to the row kernel.
+        """
+        if self.key_column is None or self.assigner.is_session():
+            return None
+        aggregator = self.aggregator
+        add_raw = getattr(aggregator, "add_raw", None)
+        if add_raw is None:
+            return None
+        batch = rbatch.batch
+        key_vector = batch.columns.get(self.key_column)
+        if key_vector is None:
+            return None
+        value_vector = None
+        column = getattr(aggregator, "column", None)
+        if column is not None:
+            value_vector = batch.columns.get(column)
+            if value_vector is None:
+                return None
+        if PERF.enabled:
+            PERF.inc("columnar.agg_rows", len(rbatch))
+        timestamps = rbatch.timestamps
+        assign = self.assigner.assign
+        lateness = self.allowed_lateness
+        watermark = self.current_watermark
+        state = self.state
+        missing = object()
+        pending: dict[tuple, Any] = {}
+        for i in rbatch.row_indices():
+            live = False
+            for window in assign(timestamps[i]):
+                if window.end + lateness > watermark:
+                    live = True
+                    state_key = (key_vector.get(i), window.start, window.end)
+                    acc = pending.get(state_key, missing)
+                    if acc is missing:
+                        acc = state.get("acc", state_key)
+                        if acc is None:
+                            acc = aggregator.create_accumulator()
+                    value = (
+                        value_vector.get(i) if value_vector is not None else None
+                    )
+                    pending[state_key] = add_raw(value, acc)
+                    if rbatch.trace is not None:
+                        self._traces[state_key] = rbatch.trace
+            if not live:
+                self.late_dropped += 1
+        for state_key, acc in pending.items():
+            state.put("acc", state_key, acc)
+        self._columnar_fires = True
         return []
 
     def _add_to_session(
@@ -219,6 +306,26 @@ class WindowOperator(Operator):
                     StreamRecord(result, end, key, self._traces.pop(state_key, None))
                 )
                 self.state.remove("acc", state_key)
+        if (
+            self._columnar_fires
+            and len(fired) > 1
+            and all(r.trace is None for r in fired)
+        ):
+            # Keep the downstream edge vectorized: one RecordBatch of
+            # results instead of one element per fired window.  Results
+            # are opaque WindowResult objects, carried as a raw vector
+            # under the ``__value__`` convention.
+            batch = ColumnBatch(
+                {"__value__": ColumnVector.raw([r.value for r in fired])},
+                num_rows=len(fired),
+            )
+            return [
+                RecordBatch(
+                    batch,
+                    timestamps=tuple(r.timestamp for r in fired),
+                    keys=tuple(r.key for r in fired),
+                )
+            ]
         return fired
 
     def snapshot(self) -> bytes:
@@ -480,6 +587,92 @@ class BoundedListReader:
         self.position = data["position"]
 
 
+class BoundedColumnarSource:
+    """Columnar counterpart of :class:`BoundedListSource`.
+
+    Input is column value lists plus per-row timestamps.  Each reader
+    builds its stride-sliced :class:`~repro.columnar.ColumnBatch` once,
+    then every poll emits a zero-copy slice as a single
+    :class:`~repro.flink.time.RecordBatch` element — the per-element
+    scheduler and routing costs of the row plane amortize over the
+    whole batch.
+    """
+
+    def __init__(
+        self,
+        columns: dict[str, list],
+        timestamps: list[float],
+        max_out_of_orderness: float = 0.0,
+        batch_size: int = 100,
+    ) -> None:
+        lengths = {name: len(values) for name, values in columns.items()}
+        if any(n != len(timestamps) for n in lengths.values()):
+            raise OperatorError(
+                f"column lengths {lengths} do not match "
+                f"{len(timestamps)} timestamps"
+            )
+        self.columns = columns
+        self.timestamps = timestamps
+        self.max_out_of_orderness = max_out_of_orderness
+        self.batch_size = batch_size
+
+    def create_reader(self, subtask: int, parallelism: int) -> "BoundedColumnarReader":
+        columns = {
+            name: values[subtask::parallelism]
+            for name, values in self.columns.items()
+        }
+        return BoundedColumnarReader(
+            self, columns, self.timestamps[subtask::parallelism]
+        )
+
+
+class BoundedColumnarReader:
+    def __init__(
+        self,
+        source: BoundedColumnarSource,
+        columns: dict[str, list],
+        timestamps: list[float],
+    ) -> None:
+        self.source = source
+        self.batch = ColumnBatch.from_columns(columns)
+        self.timestamps = timestamps
+        self.position = 0
+        self.watermarks = BoundedOutOfOrdernessWatermarks(source.max_out_of_orderness)
+        self._emitted_watermark = float("-inf")
+        self._final_sent = False
+
+    def poll(self, max_records: int = 100) -> list[Any]:
+        out: list[Any] = []
+        count = min(self.source.batch_size, len(self.batch) - self.position)
+        if count > 0:
+            view = self.batch.slice(self.position, count)
+            timestamps = tuple(
+                self.timestamps[self.position : self.position + count]
+            )
+            # Only the maximum feeds the watermark generator, so one
+            # call covers the whole slice.
+            self.watermarks.on_event(max(timestamps))
+            self.position += count
+            out.append(RecordBatch(view, timestamps))
+            watermark = self.watermarks.current_watermark()
+            if watermark > self._emitted_watermark:
+                self._emitted_watermark = watermark
+                out.append(Watermark(watermark))
+        elif not self._final_sent:
+            self._final_sent = True
+            out.append(Watermark(float("inf")))
+        return out
+
+    def lag(self) -> int:
+        return len(self.batch) - self.position
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"position": self.position}
+
+    def restore(self, data: dict[str, Any]) -> None:
+        self.position = data["position"]
+
+
 # --- sinks ------------------------------------------------------------------
 
 
@@ -491,6 +684,23 @@ class CollectSink:
 
     def write(self, record: StreamRecord) -> None:
         self.collector.append(record.value)
+
+    def write_batch(self, rbatch: RecordBatch) -> None:
+        """Columnar write: append per-row values without record objects.
+
+        Batches of opaque values use the ``__value__`` column
+        convention; batches of named columns append row dicts.
+        """
+        if PERF.enabled:
+            PERF.inc("columnar.kernel_rows", len(rbatch))
+        batch = rbatch.batch
+        vector = batch.columns.get("__value__")
+        if vector is not None:
+            for i in rbatch.row_indices():
+                self.collector.append(vector.get(i))
+            return
+        for i in rbatch.row_indices():
+            self.collector.append(batch.row(i))
 
 
 class KafkaSink:
@@ -562,7 +772,12 @@ def build_operator(spec) -> Operator:
     if spec.kind == "process":
         return ProcessOperator(spec.fn)
     if spec.kind == "window":
-        return WindowOperator(spec.assigner, spec.aggregator, spec.allowed_lateness)
+        return WindowOperator(
+            spec.assigner,
+            spec.aggregator,
+            spec.allowed_lateness,
+            key_column=spec.key_column,
+        )
     if spec.kind == "join":
         return WindowJoinOperator(spec.assigner, spec.join_fn)
     raise OperatorError(f"no runtime operator for kind {spec.kind!r}")

@@ -43,7 +43,13 @@ from repro.common.perf import PERF
 from repro.kafka.producer import hash_partitioner
 from repro.flink.graph import Edge, JobGraph, OperatorSpec, validate_graph
 from repro.flink.operators import build_operator
-from repro.flink.time import CheckpointBarrier, StreamRecord, StreamStatus, Watermark
+from repro.flink.time import (
+    CheckpointBarrier,
+    RecordBatch,
+    StreamRecord,
+    StreamStatus,
+    Watermark,
+)
 from repro.observability.trace import SpanCollector
 
 DEFAULT_CHANNEL_CAPACITY = 1000
@@ -52,6 +58,41 @@ DEFAULT_CHANNEL_CAPACITY = 1000
 #: backpressure probe.  Bounds channel overshoot to one micro-batch's
 #: worth of emissions past capacity.
 MICRO_BATCH = 32
+
+
+def _batch_to_records(
+    rbatch: RecordBatch, key_column: str | None = None
+) -> list[StreamRecord]:
+    """Adapt a columnar batch to row records (the batch→row boundary).
+
+    Used wherever a consumer has no vectorized path: row-only operators,
+    transactional sink buffers, traced sinks.  Keys come from the
+    batch's ``keys`` tuple when present, else from ``key_column`` — the
+    same key the row path would have attached at the hash exchange.
+    """
+    if PERF.enabled:
+        PERF.inc("columnar.rows_adapted", len(rbatch))
+    batch = rbatch.batch
+    timestamps = rbatch.timestamps
+    keys = rbatch.keys
+    trace = rbatch.trace
+    value_vector = batch.columns.get("__value__")
+    key_vector = (
+        batch.columns.get(key_column)
+        if keys is None and key_column is not None
+        else None
+    )
+    out: list[StreamRecord] = []
+    for i in rbatch.row_indices():
+        value = value_vector.get(i) if value_vector is not None else batch.row(i)
+        if keys is not None:
+            key = keys[i]
+        elif key_vector is not None:
+            key = key_vector.get(i)
+        else:
+            key = None
+        out.append(StreamRecord(value, timestamps[i], key, trace))
+    return out
 
 
 @dataclass
@@ -132,7 +173,10 @@ class SubTask:
                     for task in self.runtime.tasks[edge.dst]
                 ]
                 key_fn = self._dst_key_fn(dst_spec, edge)
-                self._out.append((edge, channels, key_fn, {}))
+                key_column = self._dst_key_column(dst_spec, edge)
+                # The last slot memoizes code -> target lookup tables for
+                # columnar hash routing, keyed per dictionary object.
+                self._out.append((edge, channels, key_fn, {}, key_column, {}))
                 self._out_channels.extend(channels)
         return self._out
 
@@ -176,6 +220,101 @@ class SubTask:
             return dst_spec.join_key_fns[edge.input_index]
         return dst_spec.key_fn
 
+    @staticmethod
+    def _dst_key_column(dst_spec: OperatorSpec, edge: Edge) -> str | None:
+        """Key column for columnar hash routing; ``None`` forces the
+        row-adapting fallback (joins key through opaque callables)."""
+        if dst_spec.kind == "join":
+            return None
+        return dst_spec.key_column
+
+    def _route_batch(
+        self,
+        edge: Edge,
+        channels: list[InputChannel],
+        key_fn,
+        key_targets: dict,
+        key_column: str | None,
+        code_memo: dict,
+        rbatch: RecordBatch,
+    ) -> None:
+        """Route a columnar batch along one edge without touching rows.
+
+        Forward/broadcast edges and single-channel hash edges push the
+        whole batch.  A multi-channel hash edge partitions by the key
+        column *in code space*: the hash of each distinct value is
+        memoized per dictionary (``code_memo`` keeps the dictionary
+        alive, so ids cannot be reused), and each target receives a
+        selection-vector view over the shared batch — no cell is copied.
+        Batches without a usable dictionary-coded key column fall back
+        to row-at-a-time routing via the adapter.
+        """
+        if PERF.enabled:
+            PERF.inc("flink.cached_routes")
+        n_channels = len(channels)
+        if edge.partitioning == "hash" and n_channels > 1:
+            vector = (
+                rbatch.batch.columns.get(key_column)
+                if key_column is not None
+                else None
+            )
+            if vector is None or not vector.is_dict:
+                for record in _batch_to_records(rbatch, key_column):
+                    self._route_record(
+                        edge, channels, key_fn, key_targets, record
+                    )
+                return
+            memo = code_memo.get(id(vector.dictionary))
+            if memo is None or memo[0] is not vector.dictionary:
+                lut = [
+                    hash_partitioner(value, n_channels)
+                    for value in vector.dictionary
+                ]
+                code_memo[id(vector.dictionary)] = (vector.dictionary, lut)
+            else:
+                lut = memo[1]
+            if PERF.enabled:
+                PERF.inc("columnar.rows_routed", len(rbatch))
+            null_target: int | None = None
+            selections: list[list[int]] = [[] for __ in range(n_channels)]
+            for i in rbatch.row_indices():
+                code = vector.code_at(i)
+                if code is None:
+                    if null_target is None:
+                        null_target = hash_partitioner(None, n_channels)
+                    selections[null_target].append(i)
+                else:
+                    selections[lut[code]].append(i)
+            pushes = 0
+            for target, rows in enumerate(selections):
+                if not rows:
+                    continue
+                channels[target].push(
+                    RecordBatch(
+                        rbatch.batch,
+                        rbatch.timestamps,
+                        rbatch.keys,
+                        rbatch.trace,
+                        tuple(rows),
+                    )
+                )
+                pushes += 1
+            if PERF.enabled and pushes:
+                PERF.inc("flink.channel_pushes", pushes)
+            return
+        if edge.partitioning == "broadcast":
+            targets = range(n_channels)
+        elif edge.partitioning == "rebalance":
+            # Whole-batch granularity: the batch is the unit of work.
+            targets = (self._rebalance_cursor % n_channels,)
+            self._rebalance_cursor += 1
+        else:  # forward, or hash collapsed onto a single channel
+            targets = (self.index % n_channels,)
+        if PERF.enabled:
+            PERF.inc("flink.channel_pushes", len(targets))
+        for target in targets:
+            channels[target].push(rbatch)
+
     def _broadcast_control(self, element: Any) -> None:
         """Watermarks and barriers go to every downstream subtask."""
         self._output_wiring()
@@ -186,8 +325,11 @@ class SubTask:
         wiring = self._output_wiring()
         for element in elements:
             if isinstance(element, StreamRecord):
-                for edge, channels, key_fn, key_targets in wiring:
+                for edge, channels, key_fn, key_targets, __, __ in wiring:
                     self._route_record(edge, channels, key_fn, key_targets, element)
+            elif isinstance(element, RecordBatch):
+                for entry in wiring:
+                    self._route_batch(*entry, element)
             else:
                 for channel in self._out_channels:
                     channel.push(element)
@@ -229,9 +371,12 @@ class SubTask:
                         start=now,
                         job=self.runtime.graph.name,
                     )
+        rows = len(data) + sum(
+            len(e) for e in elements if isinstance(e, RecordBatch)
+        )
         self.emit(elements)
-        self.records_processed += len(data)
-        return len(data)
+        self.records_processed += rows
+        return rows
 
     def step(self, budget: int) -> int:
         """Process up to ``budget`` elements from input channels."""
@@ -265,6 +410,9 @@ class SubTask:
                         run.append(queue.popleft())
                     self._handle_records(run, channel)
                     processed += len(run)
+                elif isinstance(queue[0], RecordBatch):
+                    self._handle_record_batch(queue.popleft(), channel)
+                    processed += 1
                 else:
                     self._handle(queue.popleft(), channel)
                     processed += 1
@@ -289,6 +437,42 @@ class SubTask:
         else:
             assert self.operator is not None
             self.emit(self.operator.process_batch(records, channel.input_index))
+
+    def _handle_record_batch(
+        self, rbatch: RecordBatch, channel: InputChannel
+    ) -> None:
+        """Dispatch one columnar batch: vectorized kernel when the
+        operator has one, batch→row adaptation otherwise.
+
+        Sinks stay columnar only on the eager untraced path — 2PC
+        buffers and trace-span closing are per-record contracts, so
+        transactional or traced sinks adapt to records first.
+        """
+        if PERF.enabled:
+            PERF.inc("flink.vector_batches")
+        self.records_processed += len(rbatch)
+        if self.spec.kind == "sink":
+            write_batch = getattr(self.spec.sink, "write_batch", None)
+            if (
+                write_batch is not None
+                and not self.spec.transactional
+                and self.runtime.tracer is None
+            ):
+                write_batch(rbatch)
+                return
+            records = _batch_to_records(rbatch)
+            if self.spec.transactional:
+                self._txn_open.extend(records)
+            else:
+                for record in records:
+                    self._write_to_sink(record)
+            return
+        assert self.operator is not None
+        out = self.operator.process_columnar(rbatch, channel.input_index)
+        if out is None:
+            records = _batch_to_records(rbatch, self.spec.key_column)
+            out = self.operator.process_batch(records, channel.input_index)
+        self.emit(out)
 
     def _handle(self, element: Any, channel: InputChannel) -> None:
         if PERF.enabled:

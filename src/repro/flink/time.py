@@ -59,7 +59,38 @@ class StreamStatus:
     idle: bool
 
 
-StreamElement = StreamRecord | Watermark | CheckpointBarrier | StreamStatus
+@dataclass(frozen=True, slots=True)
+class RecordBatch:
+    """A columnar batch flowing through the dataflow as one element.
+
+    The vectorized counterpart of :class:`StreamRecord`: ``batch`` is a
+    :class:`repro.columnar.ColumnBatch`, ``timestamps`` holds one event
+    timestamp per row, and ``selection`` (when set) restricts the
+    element to a subset of row indices — the runtime routes partitioned
+    sub-batches as selection vectors over the *shared* parent batch, so
+    a keyed exchange never copies cells.  ``trace`` follows the
+    :class:`StreamRecord` contract for the whole batch.
+    """
+
+    batch: Any
+    timestamps: tuple
+    keys: tuple | None = None
+    trace: Any = None
+    selection: tuple | None = None
+
+    def __len__(self) -> int:
+        return len(self.selection) if self.selection is not None else len(self.batch)
+
+    def row_indices(self) -> range | tuple:
+        """Indices of live rows in ``batch`` (all rows when unselected)."""
+        if self.selection is not None:
+            return self.selection
+        return range(self.batch.num_rows)
+
+
+StreamElement = (
+    StreamRecord | RecordBatch | Watermark | CheckpointBarrier | StreamStatus
+)
 
 
 class BoundedOutOfOrdernessWatermarks:

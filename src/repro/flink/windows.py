@@ -95,7 +95,15 @@ class SessionWindows:
 
 
 class AggregateFunction(Protocol):
-    """Flink's incremental aggregation contract."""
+    """Flink's incremental aggregation contract.
+
+    Aggregates that can run in the vectorized plane additionally expose
+    ``column`` (the input column their extractor reads, or ``None`` for
+    column-less aggregates like count) and ``add_raw`` (the same update
+    as ``add`` but over a pre-extracted cell value) — the window
+    operator's columnar kernel accumulates straight from column vectors
+    without materializing row objects.
+    """
 
     def create_accumulator(self) -> Any: ...
 
@@ -106,13 +114,34 @@ class AggregateFunction(Protocol):
     def merge(self, a: Any, b: Any) -> Any: ...
 
 
+def _column_extract(
+    extract: Callable[[Any], float] | str,
+) -> tuple[Callable[[Any], float], str | None]:
+    """Resolve an extractor spec into ``(callable, column_name)``.
+
+    A string names an input column: the row path reads ``value[name]``
+    and the columnar path reads the column vector directly.  A callable
+    is opaque — it works row-at-a-time only (``column`` stays ``None``
+    and the window operator falls back to the row kernel).
+    """
+    if isinstance(extract, str):
+        name = extract
+        return (lambda value: value[name]), name
+    return extract, None
+
+
 class CountAggregate:
     """Counts elements."""
+
+    column = None
 
     def create_accumulator(self) -> int:
         return 0
 
     def add(self, value: Any, accumulator: int) -> int:
+        return accumulator + 1
+
+    def add_raw(self, value: Any, accumulator: int) -> int:
         return accumulator + 1
 
     def get_result(self, accumulator: int) -> int:
@@ -125,14 +154,17 @@ class CountAggregate:
 class SumAggregate:
     """Sums ``extract(value)``."""
 
-    def __init__(self, extract: Callable[[Any], float]) -> None:
-        self.extract = extract
+    def __init__(self, extract: Callable[[Any], float] | str) -> None:
+        self.extract, self.column = _column_extract(extract)
 
     def create_accumulator(self) -> float:
         return 0.0
 
     def add(self, value: Any, accumulator: float) -> float:
         return accumulator + self.extract(value)
+
+    def add_raw(self, value: float, accumulator: float) -> float:
+        return accumulator + value
 
     def get_result(self, accumulator: float) -> float:
         return accumulator
@@ -144,8 +176,8 @@ class SumAggregate:
 class AvgAggregate:
     """Arithmetic mean of ``extract(value)``."""
 
-    def __init__(self, extract: Callable[[Any], float]) -> None:
-        self.extract = extract
+    def __init__(self, extract: Callable[[Any], float] | str) -> None:
+        self.extract, self.column = _column_extract(extract)
 
     def create_accumulator(self) -> tuple[float, int]:
         return (0.0, 0)
@@ -153,6 +185,12 @@ class AvgAggregate:
     def add(self, value: Any, accumulator: tuple[float, int]) -> tuple[float, int]:
         total, count = accumulator
         return (total + self.extract(value), count + 1)
+
+    def add_raw(
+        self, value: float, accumulator: tuple[float, int]
+    ) -> tuple[float, int]:
+        total, count = accumulator
+        return (total + value, count + 1)
 
     def get_result(self, accumulator: tuple[float, int]) -> float:
         total, count = accumulator
@@ -163,14 +201,17 @@ class AvgAggregate:
 
 
 class MinAggregate:
-    def __init__(self, extract: Callable[[Any], float]) -> None:
-        self.extract = extract
+    def __init__(self, extract: Callable[[Any], float] | str) -> None:
+        self.extract, self.column = _column_extract(extract)
 
     def create_accumulator(self) -> float:
         return math.inf
 
     def add(self, value: Any, accumulator: float) -> float:
         return min(accumulator, self.extract(value))
+
+    def add_raw(self, value: float, accumulator: float) -> float:
+        return min(accumulator, value)
 
     def get_result(self, accumulator: float) -> float:
         return accumulator
@@ -180,14 +221,17 @@ class MinAggregate:
 
 
 class MaxAggregate:
-    def __init__(self, extract: Callable[[Any], float]) -> None:
-        self.extract = extract
+    def __init__(self, extract: Callable[[Any], float] | str) -> None:
+        self.extract, self.column = _column_extract(extract)
 
     def create_accumulator(self) -> float:
         return -math.inf
 
     def add(self, value: Any, accumulator: float) -> float:
         return max(accumulator, self.extract(value))
+
+    def add_raw(self, value: float, accumulator: float) -> float:
+        return max(accumulator, value)
 
     def get_result(self, accumulator: float) -> float:
         return accumulator

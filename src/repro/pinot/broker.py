@@ -64,9 +64,18 @@ class QueryResult:
     segments_scanned: int = 0
     segments_pruned: int = 0
     cache_hit: bool = False
+    # Columnar selection results: ColumnBatch pages in place of ``rows``
+    # (set only for ``execute(..., columnar=True)`` selection queries
+    # without ORDER BY / LIMIT; ``rows`` is then empty).
+    pages: list | None = None
 
     def docs_examined(self) -> int:
         return sum(p.docs_examined for p in self.plans)
+
+    def num_rows(self) -> int:
+        if self.pages is not None:
+            return sum(len(page) for page in self.pages)
+        return len(self.rows)
 
 
 _SCALAR_CELL_TYPES = (str, int, float, bool, bytes, type(None))
@@ -176,11 +185,15 @@ class PinotBroker:
         self.enable_cache = enable_cache
         self.cache = BrokerResultCache(cache_capacity_per_table)
 
-    def execute(self, query: PinotQuery) -> QueryResult:
+    def execute(self, query: PinotQuery, columnar: bool = False) -> QueryResult:
         start = self.clock.now() if self.tracer is not None else 0.0
         state = self.controller.table(query.table)
         epoch = state.epoch
         cache_key = normalize_query(query) if self.enable_cache else None
+        if cache_key is not None and columnar:
+            # Pages and rows are distinct result shapes; never serve one
+            # form of a query to a caller expecting the other.
+            cache_key = cache_key + ("columnar",)
         if cache_key is not None:
             cached = self.cache.get(query.table, cache_key, epoch)
             if cached is not None:
@@ -196,7 +209,9 @@ class PinotBroker:
             servers += 1
             scanned += len(segment_names)
             partials.extend(
-                server.execute(query, segment_names, upsert_partition)
+                server.execute(
+                    query, segment_names, upsert_partition, columnar=columnar
+                )
             )
         self.metrics.counter("queries").inc()
         self.metrics.counter("segments_scanned").inc(scanned)
@@ -210,8 +225,17 @@ class PinotBroker:
         result.segments_scanned = scanned
         result.segments_pruned = pruned
         if cache_key is not None:
-            # Store a private copy: callers may mutate the returned rows.
-            self.cache.put(query.table, cache_key, epoch, _copy_rows(result.rows))
+            if result.pages is not None:
+                # Pages are immutable views: cache (and later serve) them
+                # zero-copy, no row isolation needed.
+                self.cache.put(
+                    query.table, cache_key, epoch, ("pages", tuple(result.pages))
+                )
+            else:
+                # Store a private copy: callers may mutate the returned rows.
+                self.cache.put(
+                    query.table, cache_key, epoch, _copy_rows(result.rows)
+                )
         if self.tracer is not None:
             self.tracer.record_table_query(
                 query.table,
@@ -255,14 +279,25 @@ class PinotBroker:
         return docs, not filters
 
     def _serve_cached(
-        self, query: PinotQuery, rows: list[dict], start: float
+        self, query: PinotQuery, cached, start: float
     ) -> QueryResult:
         self.metrics.counter("queries").inc()
         self.metrics.counter("cache_hits").inc()
-        if PERF.enabled:
-            PERF.inc("pinot.cache_hits")
-            PERF.inc("pinot.cache_row_copies", len(rows))
-        result = QueryResult(rows=_copy_rows(rows), cache_hit=True)
+        if (
+            isinstance(cached, tuple)
+            and len(cached) == 2
+            and cached[0] == "pages"
+        ):
+            pages = list(cached[1])
+            if PERF.enabled:
+                PERF.inc("pinot.cache_hits")
+                PERF.inc("columnar.batch_serves", len(pages))
+            result = QueryResult(rows=[], pages=pages, cache_hit=True)
+        else:
+            if PERF.enabled:
+                PERF.inc("pinot.cache_hits")
+                PERF.inc("pinot.cache_row_copies", len(cached))
+            result = QueryResult(rows=_copy_rows(cached), cache_hit=True)
         if self.tracer is not None:
             self.tracer.record_table_query(
                 query.table,
@@ -435,6 +470,16 @@ class PinotBroker:
                 rows.append(row)
         else:
             rows = [row for partial in partials for row in partial.rows]
+            pages = [page for partial in partials for page in partial.pages]
+            if pages:
+                if rows or query.order_by or query.limit:
+                    # Ordering/limits (and mixed partial shapes) need rows:
+                    # materialize at this boundary and fall through.
+                    from repro.columnar import pages_to_rows
+
+                    rows.extend(pages_to_rows(pages))
+                else:
+                    return QueryResult(rows=[], pages=pages, plans=plans)
         rows = self._order_and_limit(query, rows)
         return QueryResult(rows=rows, plans=plans)
 

@@ -163,6 +163,9 @@ class PartialResult:
     # group key tuple -> [agg states]; () key for global aggregations
     groups: dict[tuple, list[Any]] = field(default_factory=dict)
     rows: list[dict[str, Any]] = field(default_factory=list)  # selection queries
+    # Columnar selection results: ColumnBatch pages instead of ``rows``
+    # (the vectorized scan path; mutually exclusive with ``rows``).
+    pages: list = field(default_factory=list)
     plan: SegmentPlan | None = None
 
 
@@ -287,15 +290,63 @@ def _column_reader(
     return lambda doc_id: segment.value(column, doc_id)
 
 
+def _columnar_page(
+    segment: ImmutableSegment | MutableSegment,
+    columns: list[str],
+    matching: list[int],
+):
+    """Build one ColumnBatch page of the matching docs.
+
+    Sealed segments gather forward-index *codes* over the shared sorted
+    dictionary (zero-copy adoption, no value materialization); consuming
+    segments — which have no packed form — encode their cells.
+    """
+    from repro.columnar import Bitmap, ColumnBatch, ColumnVector
+
+    vectors = {}
+    for column in columns:
+        if isinstance(segment, ImmutableSegment):
+            fwd = segment.forward.get(column)
+            if fwd is None:
+                raise QueryError(
+                    f"unknown column {column!r} in segment {segment.name}"
+                )
+            codes = fwd.codes()
+            null_code = fwd._null_code
+            gathered = [codes[d] for d in matching]
+            if PERF.enabled:
+                PERF.inc("columnar.cells_gathered", len(gathered))
+            validity = None
+            if any(code == null_code for code in gathered):
+                validity = Bitmap.from_bools(
+                    [code != null_code for code in gathered]
+                )
+                gathered = [
+                    0 if code == null_code else code for code in gathered
+                ]
+            vectors[column] = ColumnVector.from_codes(
+                tuple(fwd._dictionary), gathered, validity
+            )
+        else:
+            vectors[column] = ColumnVector.from_values(
+                [segment.value(column, d) for d in matching]
+            )
+    return ColumnBatch(vectors, num_rows=len(matching))
+
+
 def execute_on_segment(
     segment: ImmutableSegment | MutableSegment,
     query: PinotQuery,
     valid_doc_ids: set[int] | None = None,
+    columnar: bool = False,
 ) -> PartialResult:
     """Run a query against one segment, returning mergeable partials.
 
     ``valid_doc_ids`` restricts evaluation to the still-valid documents of
     an upsert table (Section 4.3.1); ``None`` means all docs are valid.
+    ``columnar`` makes selection queries return :class:`ColumnBatch`
+    pages (``PartialResult.pages``) instead of row dicts — same logical
+    rows, no materialization.
     """
     plan = SegmentPlan(segment=segment.name)
     if isinstance(segment, ImmutableSegment) and valid_doc_ids is None:
@@ -326,6 +377,10 @@ def execute_on_segment(
                 reader = agg_readers[i]
                 value = reader(doc_id) if reader is not None else None
                 states[i] = _update_agg_state(agg, states[i], value)
+    elif columnar:
+        columns = query.select_columns or _column_names(segment)
+        if matching:
+            partial.pages.append(_columnar_page(segment, columns, matching))
     else:
         columns = query.select_columns or _column_names(segment)
         readers = [
@@ -342,6 +397,8 @@ def _column_names(segment: ImmutableSegment | MutableSegment) -> list[str]:
     names: set[str] = set()
     for row in segment.rows:
         names.update(row)
+    for batch in segment.chunks:
+        names.update(batch.columns)
     return sorted(names)
 
 

@@ -441,7 +441,13 @@ class ImmutableSegment:
 
 @dataclass
 class MutableSegment:
-    """Realtime, row-appendable segment (the "consuming" segment)."""
+    """Realtime segment (the "consuming" segment).
+
+    Accepts rows one at a time (:meth:`append`) or whole column batches
+    (:meth:`append_chunk`, the vectorized ingest path).  Doc ids follow
+    append order across both forms; appending a row while chunks are
+    pending materializes the chunks first so ordering stays exact.
+    """
 
     name: str
     partition_id: int | None = None
@@ -449,27 +455,65 @@ class MutableSegment:
     # When set (realtime tables pass the schema's columns), references to
     # unknown columns fail loudly instead of reading as NULL.
     column_names: list[str] | None = None
+    # Column batches appended after ``rows`` (doc order: rows, then chunks).
+    chunks: list[Any] = field(default_factory=list)
+    _chunk_docs: int = field(default=0, init=False, repr=False)
 
     def append(self, row: dict[str, Any]) -> int:
         """Append a row; returns its doc id within this segment."""
         if PERF.enabled:
             PERF.inc("pinot.rows_ingested")
+        if self.chunks:
+            self._materialize_chunks()
         self.rows.append(row)
         return len(self.rows) - 1
 
+    def append_chunk(self, batch: Any) -> int:
+        """Append a :class:`~repro.columnar.ColumnBatch`; returns the doc id
+        of its first row.  Cells stay columnar until seal or access."""
+        if PERF.enabled:
+            PERF.inc("pinot.chunk_rows_ingested", len(batch))
+        base = self.num_docs
+        self.chunks.append(batch)
+        self._chunk_docs += len(batch)
+        return base
+
+    def _materialize_chunks(self) -> None:
+        """Degrade pending chunks to rows (mixed row/chunk appends)."""
+        for batch in self.chunks:
+            self.rows.extend(batch.to_rows())
+        self.chunks.clear()
+        self._chunk_docs = 0
+
     @property
     def num_docs(self) -> int:
-        return len(self.rows)
+        return len(self.rows) + self._chunk_docs
+
+    def _chunk_cell(self, column: str | None, doc_id: int) -> Any:
+        """Cell (or row dict, when ``column`` is None) from the chunk tail."""
+        i = doc_id - len(self.rows)
+        for batch in self.chunks:
+            if i < len(batch):
+                if column is None:
+                    return batch.row(i)
+                vector = batch.columns.get(column)
+                return vector.get(i) if vector is not None else None
+            i -= len(batch)
+        raise IndexError(doc_id)
 
     def value(self, column: str, doc_id: int) -> Any:
         if self.column_names is not None and column not in self.column_names:
             raise SegmentError(
                 f"segment {self.name} has no column {column!r}"
             )
-        return self.rows[doc_id].get(column)
+        if doc_id < len(self.rows):
+            return self.rows[doc_id].get(column)
+        return self._chunk_cell(column, doc_id)
 
     def row(self, doc_id: int) -> dict[str, Any]:
-        return self.rows[doc_id]
+        if doc_id < len(self.rows):
+            return self.rows[doc_id]
+        return self._chunk_cell(None, doc_id)
 
     def seal(
         self,
@@ -478,10 +522,20 @@ class MutableSegment:
         column_names: list[str] | None = None,
     ) -> ImmutableSegment:
         """Convert to the sealed columnar form with all indexes built."""
-        if not self.rows:
+        if not self.num_docs:
             raise SegmentError(f"cannot seal empty segment {self.name}")
-        names = column_names or sorted({k for row in self.rows for k in row})
+        names = column_names or sorted(
+            {k for row in self.rows for k in row}
+            | {name for batch in self.chunks for name in batch.columns}
+        )
         columns = {name: [row.get(name) for row in self.rows] for name in names}
+        for batch in self.chunks:
+            for name in names:
+                vector = batch.columns.get(name)
+                if vector is None:
+                    columns[name].extend([None] * len(batch))
+                else:
+                    columns[name].extend(vector.values_list())
         return ImmutableSegment(
             self.name,
             columns,

@@ -53,12 +53,14 @@ class PinotServer:
         query: PinotQuery,
         segment_names: list[str],
         upsert_partition: int | None = None,
+        columnar: bool = False,
     ) -> list[PartialResult]:
         """Run a subquery over the named hosted segments.
 
         For upsert tables the broker routes all of one partition's segments
         here and passes ``upsert_partition`` so execution honours the local
-        valid-doc-id sets.
+        valid-doc-id sets.  ``columnar`` requests ColumnBatch pages for
+        selection queries (the vectorized scan path).
         """
         if not self.alive:
             raise SegmentError(f"server {self.name} is down")
@@ -73,7 +75,9 @@ class PinotServer:
             if segment is None:
                 raise SegmentError(f"server {self.name} does not host {name!r}")
             valid = manager.valid_docs(name) if manager is not None else None
-            partials.append(execute_on_segment(segment, query, valid))
+            partials.append(
+                execute_on_segment(segment, query, valid, columnar=columnar)
+            )
             self.metrics.counter("subqueries").inc()
         return partials
 

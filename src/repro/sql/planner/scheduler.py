@@ -33,6 +33,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+from repro.columnar import pages_to_rows
 from repro.common.errors import SqlPlanError
 from repro.common.perf import PERF
 from repro.sql.planner.physical import PhysicalPlan, Stage
@@ -111,13 +112,39 @@ class Evidence:
 
 @dataclass
 class StagePayload:
-    """One stage's output: rows plus how they were produced."""
+    """One stage's output: rows plus how they were produced.
+
+    ``pages`` carries the columnar form (ColumnBatch pages; ``rows`` is
+    then empty).  Pages flow between stages until an operator needs row
+    dicts — ``as_rows`` is that boundary."""
 
     rows: list
     aggregated: bool = False  # rows are final aggregation results
     evidence: Evidence = field(default_factory=Evidence)
+    pages: list | None = None
+
+    def num_rows(self) -> int:
+        if self.pages is not None:
+            return sum(len(page) for page in self.pages)
+        return len(self.rows)
+
+    def as_rows(self) -> list:
+        """Row-dict view of this payload (the batch→row boundary)."""
+        if self.pages is not None:
+            return pages_to_rows(self.pages)
+        return self.rows
 
     def copied(self) -> "StagePayload":
+        if self.pages is not None:
+            # Pages are immutable views: serving them shares buffers.
+            if PERF.enabled:
+                PERF.inc("columnar.batch_serves", len(self.pages))
+            return StagePayload(
+                rows=[],
+                aggregated=self.aggregated,
+                evidence=replace(self.evidence),
+                pages=list(self.pages),
+            )
         return StagePayload(
             rows=_copy_rows(self.rows),
             aggregated=self.aggregated,
@@ -240,11 +267,11 @@ class StageScheduler:
             stage = plan.stages[sid]
             if PERF.enabled:
                 PERF.inc("presto.stage_artifact_hits")
-                PERF.inc("presto.artifact_rows_copied", len(payload.rows))
+                PERF.inc("presto.artifact_rows_copied", payload.num_rows())
             executions.append(
-                StageExecution(sid, stage.op, -1, -1, True, len(payload.rows))
+                StageExecution(sid, stage.op, -1, -1, True, payload.num_rows())
             )
-            self._record_span(query_id, stage, served=True, rows=len(payload.rows))
+            self._record_span(query_id, stage, served=True, rows=payload.num_rows())
         for sid in sorted(needed):
             stage = plan.stages[sid]
             wave = wave_of[sid]
@@ -258,10 +285,10 @@ class StageScheduler:
             if PERF.enabled:
                 PERF.inc("presto.stage_executions")
             executions.append(
-                StageExecution(sid, stage.op, wave, worker, False, len(payload.rows))
+                StageExecution(sid, stage.op, wave, worker, False, payload.num_rows())
             )
             self._record_span(
-                query_id, stage, served=False, rows=len(payload.rows),
+                query_id, stage, served=False, rows=payload.num_rows(),
                 wave=wave, worker=worker,
             )
             if self.artifacts is not None:
@@ -302,11 +329,18 @@ class StageScheduler:
         node = stage.node
         single = payloads[0]
         if stage.op in ("filter", "having"):
+            if single.pages is not None:
+                pages = self._filter_pages(single.pages, node)
+                if pages is not None:
+                    return StagePayload(
+                        [], single.aggregated, evidence, pages=pages
+                    )
+            rows_in = single.as_rows()
             if PERF.enabled:
-                PERF.inc("presto.filter_rows", len(single.rows))
+                PERF.inc("presto.filter_rows", len(rows_in))
             rows = [
                 r
-                for r in single.rows
+                for r in rows_in
                 if eval_condition(node.condition, r, node.qualified)
             ]
             return StagePayload(rows, single.aggregated, evidence)
@@ -315,35 +349,91 @@ class StageScheduler:
                 # The connector already produced final groups (in canonical
                 # group order — the broker default); pass through.
                 return StagePayload(single.rows, True, evidence)
+            if single.pages is not None:
+                rows = self._aggregate_pages(single.pages, node)
+                if rows is not None:
+                    return StagePayload(rows, True, evidence)
+            rows_in = single.as_rows()
             if PERF.enabled:
-                PERF.inc("presto.agg_rows", len(single.rows))
+                PERF.inc("presto.agg_rows", len(rows_in))
             rows = aggregate_rows(
-                list(node.group_cols), list(node.aggs), single.rows, node.qualified
+                list(node.group_cols), list(node.aggs), rows_in, node.qualified
             )
             return StagePayload(rows, True, evidence)
         if stage.op == "project":
+            rows_in = single.as_rows()
             if PERF.enabled:
-                PERF.inc("presto.project_rows", len(single.rows))
+                PERF.inc("presto.project_rows", len(rows_in))
             rows = [
                 project_row(list(node.items), row, node.qualified)
-                for row in single.rows
+                for row in rows_in
             ]
             return StagePayload(rows, False, evidence)
         if stage.op == "sort":
+            rows_in = single.as_rows()
             if PERF.enabled:
-                PERF.inc("presto.sort_rows", len(single.rows))
-            rows = order_rows(list(node.keys), list(single.rows))
+                PERF.inc("presto.sort_rows", len(rows_in))
+            rows = order_rows(list(node.keys), list(rows_in))
             return StagePayload(rows, single.aggregated, evidence)
         if stage.op == "limit":
-            rows = single.rows[: node.n] if node.n else single.rows
+            if single.pages is not None and node.n:
+                pages = self._limit_pages(single.pages, node.n)
+                return StagePayload([], single.aggregated, evidence, pages=pages)
+            rows = single.as_rows()
+            rows = rows[: node.n] if node.n else rows
             return StagePayload(rows, single.aggregated, evidence)
         raise SqlPlanError(f"unknown stage op {stage.op!r}")
+
+    # -- vectorized operator bodies -------------------------------------------
+    # Kernel symbols are imported inside the methods: repro.columnar exports
+    # them lazily to break the repro.sql <-> repro.columnar.kernels cycle.
+
+    def _filter_pages(self, pages: list, node) -> list | None:
+        """Filter pages in code space; None means the condition is outside
+        the kernel's reach and the caller must take the row path."""
+        from repro.columnar import KernelUnsupported, filter_batch
+
+        out = []
+        try:
+            for page in pages:
+                filtered = filter_batch(page, node.condition, node.qualified)
+                if len(filtered):
+                    out.append(filtered)
+        except KernelUnsupported:
+            return None
+        return out
+
+    def _aggregate_pages(self, pages: list, node) -> list | None:
+        """Vectorized grouped aggregation; None on kernel fallback."""
+        from repro.columnar import KernelUnsupported, aggregate_pages
+
+        try:
+            return aggregate_pages(
+                list(node.group_cols), list(node.aggs), pages, node.qualified
+            )
+        except KernelUnsupported:
+            return None
+
+    @staticmethod
+    def _limit_pages(pages: list, n: int) -> list:
+        out, remaining = [], n
+        for page in pages:
+            if remaining <= 0:
+                break
+            if len(page) <= remaining:
+                out.append(page)
+                remaining -= len(page)
+            else:
+                out.append(page.slice(0, remaining))
+                remaining = 0
+        return out
 
     def _execute_scan(self, stage: Stage) -> StagePayload:
         from repro.sql.presto.connector import ScanRequest
 
         node = stage.node
         connector = self.catalog[node.table]
+        capabilities = connector.capabilities()
         request = ScanRequest(
             table=node.table,
             filters=[to_pushed(c) for c in node.filters],
@@ -355,6 +445,7 @@ class StageScheduler:
             ),
             group_by=list(node.group_by) if node.group_by is not None else None,
             limit=node.limit,
+            columnar=getattr(capabilities, "columnar", False),
         )
         evidence = Evidence()
         result = connector.scan(request)
@@ -370,13 +461,19 @@ class StageScheduler:
             request.limit = None
             result = connector.scan(request)
             evidence.absorb_scan(result)
+        pages = result.pages or None
         rows = result.rows
         if node.filters and not result.filters_applied:
+            if pages is not None:
+                rows = pages_to_rows(pages)
+                pages = None
             condition = conjoin(list(node.filters), None)
             rows = [r for r in rows if eval_condition(condition, r, False)]
         if node.filters and result.filters_applied:
             evidence.pushed_filters = len(node.filters)
         evidence.pushed_aggregation = result.aggregated
+        if pages is not None:
+            return StagePayload([], result.aggregated, evidence, pages=pages)
         return StagePayload(rows, result.aggregated, evidence)
 
     def _execute_join(
@@ -385,8 +482,8 @@ class StageScheduler:
         """Hash joins in optimizer order, output restored to syntactic
         nested-loop order via per-row origin tags."""
         node = stage.node
-        base_rows = payloads[0].rows
-        right_rows = [payload.rows for payload in payloads[1:]]
+        base_rows = payloads[0].as_rows()
+        right_rows = [payload.as_rows() for payload in payloads[1:]]
         slots = len(node.steps)
         joined: list[tuple[dict, tuple]] = [
             (

@@ -54,6 +54,10 @@ class ConnectorCapabilities:
     # names; COUNT DISTINCT travels as DISTINCTCOUNT).  Only consulted
     # when ``aggregation`` is True.
     agg_functions: frozenset[str] = frozenset()
+    # The connector can return selection scans as ColumnBatch pages
+    # (``ScanResult.pages``); row-only connectors leave this False and
+    # the engine's batch↔row adapter keeps them working unchanged.
+    columnar: bool = False
 
     def __contains__(self, capability: str) -> bool:
         return capability in _CAPABILITY_FLAGS and bool(getattr(self, capability))
@@ -173,11 +177,17 @@ class ScanRequest:
     aggregations: list[PushedAggregation] | None = None
     group_by: list[str] | None = None
     limit: int | None = None
+    # Engine accepts ColumnBatch pages for this scan (set only when the
+    # connector advertised the ``columnar`` capability).
+    columnar: bool = False
 
 
 @dataclass
 class ScanResult:
     rows: list[dict[str, Any]]
+    # Columnar form: ColumnBatch pages in place of ``rows`` (``rows`` is
+    # then empty).  Only produced when the request set ``columnar``.
+    pages: list | None = None
     filters_applied: bool = False  # connector already applied the filters
     aggregated: bool = False  # rows are final aggregation results
     source_rows_examined: int = 0  # work done inside the source system
@@ -220,24 +230,28 @@ _PINOT_FUNCS = {"COUNT", "SUM", "AVG", "MIN", "MAX", "DISTINCTCOUNT"}
 class PinotConnector:
     """Connector over our Pinot broker with configurable pushdown stages."""
 
-    def __init__(self, broker: PinotBroker, pushdown: str = "full") -> None:
+    def __init__(
+        self, broker: PinotBroker, pushdown: str = "full", columnar: bool = False
+    ) -> None:
         if pushdown not in ("none", "predicate", "full"):
             raise SqlPlanError(f"unknown pushdown level {pushdown!r}")
         self.name = "pinot"
         self.broker = broker
         self.pushdown = pushdown
+        self.columnar = columnar
 
     def capabilities(self) -> ConnectorCapabilities:
         if self.pushdown == "none":
-            return ConnectorCapabilities()
+            return ConnectorCapabilities(columnar=self.columnar)
         if self.pushdown == "predicate":
-            return ConnectorCapabilities(predicate=True)
+            return ConnectorCapabilities(predicate=True, columnar=self.columnar)
         return ConnectorCapabilities(
             predicate=True,
             projection=True,
             aggregation=True,
             limit=True,
             agg_functions=frozenset(_PINOT_FUNCS),
+            columnar=self.columnar,
         )
 
     def estimate(self, request: ScanRequest) -> CardinalityEstimate:
@@ -298,13 +312,15 @@ class PinotConnector:
             filters=filters,
             limit=limit or 0,
         )
-        result = self.broker.execute(query)
+        columnar = self.columnar and request.columnar
+        result = self.broker.execute(query, columnar=columnar)
         return ScanResult(
             rows=result.rows,
+            pages=result.pages,
             filters_applied=bool(filters),
             aggregated=False,
             source_rows_examined=result.docs_examined(),
-            rows_transferred=len(result.rows),
+            rows_transferred=result.num_rows(),
             servers_queried=result.servers_queried,
             segments_scanned=result.segments_scanned,
             segments_pruned=result.segments_pruned,

@@ -172,7 +172,7 @@ class PrestoEngine:
                 )
         payload, executions = self.scheduler.run(planned.physical, epochs, query_id)
         stats = self._fold_stats(planned, payload, executions)
-        output = QueryOutput(payload.rows, stats, planned)
+        output = QueryOutput(payload.as_rows(), stats, planned)
         if self.tracer is not None:
             end = self.clock.now()
             for table in dict.fromkeys(stats.tables_scanned):

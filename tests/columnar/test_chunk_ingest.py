@@ -1,0 +1,260 @@
+"""Chunked (columnar) Kafka→Pinot ingest is equivalent to row ingest.
+
+The same seeded workload is produced twice — once as per-row records,
+once as ColumnChunks — into two identical tables.  Everything the query
+path can observe must match: segment names, seal boundaries, per-column
+values in doc order, and query results.  Dedup and upsert tables
+degrade to the row path internally but must land the same state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.columnar import ColumnBatch
+from repro.common.clock import SimulatedClock
+from repro.common.errors import SchemaError
+from repro.common.rng import seeded_rng
+from repro.kafka.cluster import KafkaCluster, TopicConfig
+from repro.kafka.producer import Producer
+from repro.metadata.schema import Field, FieldRole, FieldType, Schema
+from repro.pinot.broker import PinotBroker
+from repro.pinot.controller import PinotController
+from repro.pinot.query import Aggregation, Filter, PinotQuery
+from repro.pinot.recovery import PeerToPeerBackup
+from repro.pinot.segment import ImmutableSegment, MutableSegment
+from repro.pinot.server import PinotServer
+from repro.pinot.table import TableConfig
+from repro.storage.blobstore import BlobStore
+
+SCHEMA_FIELDS = (
+    Field("city", FieldType.STRING),
+    Field("status", FieldType.STRING, nullable=True),
+    Field("amount", FieldType.DOUBLE, FieldRole.METRIC, nullable=False),
+    Field("ts", FieldType.DOUBLE, FieldRole.TIME),
+)
+
+
+def make_rows(n: int, seed: int = 11) -> list[dict]:
+    rng = seeded_rng(seed, "chunk.ingest")
+    return [
+        {
+            "city": f"city-{rng.randrange(6)}",
+            "status": rng.choice(["ok", "late", None]),
+            "amount": float(rng.randrange(100)),
+            "ts": (i + 1) * 0.5,
+        }
+        for i in range(n)
+    ]
+
+
+def build_table(rows: list[dict], columnar: bool, **config_kw):
+    clock = SimulatedClock()
+    kafka = KafkaCluster("test", 3, clock=clock)
+    kafka.create_topic("metrics", TopicConfig(partitions=2))
+    producer = Producer(kafka, "test", clock=clock)
+    if columnar:
+        for start in range(0, len(rows), 50):
+            part = rows[start : start + 50]
+            batch = ColumnBatch.from_columns(
+                {
+                    name: [row.get(name) for row in part]
+                    for name in ("city", "status", "amount", "ts")
+                }
+            )
+            producer.send_columnar(
+                "metrics",
+                batch,
+                key_column="city",
+                event_times=[row["ts"] for row in part],
+            )
+    else:
+        for row in rows:
+            producer.send("metrics", row, key=row["city"])
+    producer.flush()
+    schema = Schema("metrics", SCHEMA_FIELDS)
+    controller = PinotController(
+        [PinotServer(f"s{i}") for i in range(3)],
+        PeerToPeerBackup(BlobStore()),
+    )
+    state = controller.create_realtime_table(
+        TableConfig(
+            "metrics",
+            schema,
+            time_column="ts",
+            segment_rows_threshold=64,
+            **config_kw,
+        ),
+        kafka,
+        "metrics",
+    )
+    while True:
+        state.ingestion.run_step()
+        controller.backup.run_step()
+        if state.ingestion.lag() == 0 and not any(
+            s.blocked() for s in state.ingestion.partitions.values()
+        ):
+            break
+    return clock, controller, state
+
+
+def observable_state(controller) -> dict:
+    """Everything the query path can see, in deterministic order."""
+    out: dict = {}
+    for server in controller.servers:
+        for name, segment in sorted(server.segments.items()):
+            if isinstance(segment, ImmutableSegment):
+                columns = {
+                    col: segment.forward[col].values_list()
+                    if hasattr(segment.forward[col], "values_list")
+                    else [
+                        segment.value(col, d) for d in range(segment.num_docs)
+                    ]
+                    for col in sorted(segment.forward)
+                }
+            else:
+                assert isinstance(segment, MutableSegment)
+                columns = {}
+                for doc in range(segment.num_docs):
+                    for col, value in segment.row(doc).items():
+                        columns.setdefault(col, []).append(value)
+            out.setdefault(name, columns)
+    return out
+
+
+class TestChunkIngestParity:
+    def test_segments_and_values_match_row_ingest(self):
+        rows = make_rows(300)
+        __, row_controller, __ = build_table(rows, columnar=False)
+        __, chunk_controller, __ = build_table(rows, columnar=True)
+        assert observable_state(row_controller) == observable_state(
+            chunk_controller
+        )
+
+    def test_query_results_match_row_ingest(self):
+        rows = make_rows(300)
+        row_clock, row_controller, __ = build_table(rows, columnar=False)
+        chunk_clock, chunk_controller, __ = build_table(rows, columnar=True)
+        query = PinotQuery(
+            table="metrics",
+            aggregations=[Aggregation("COUNT"), Aggregation("SUM", "amount")],
+            filters=[Filter("status", "=", "ok")],
+            group_by=["city"],
+        )
+        row_result = PinotBroker(row_controller, clock=row_clock).execute(query)
+        chunk_result = PinotBroker(chunk_controller, clock=chunk_clock).execute(
+            query
+        )
+        assert row_result.rows == chunk_result.rows
+
+    def test_seal_boundary_splits_a_chunk(self):
+        # 300 rows over 2 partitions at threshold 64: chunks of 50 must
+        # be sliced across seals, never stretch a segment.
+        rows = make_rows(300)
+        __, controller, __ = build_table(rows, columnar=True)
+        sealed = [
+            segment
+            for server in controller.servers
+            for segment in server.segments.values()
+            if isinstance(segment, ImmutableSegment)
+        ]
+        assert sealed
+        assert all(s.num_docs <= 64 for s in sealed)
+
+    def test_dedup_table_degrades_to_rows_and_matches(self):
+        rows = make_rows(120)
+        replayed = rows + rows[:30]  # upstream at-least-once replay
+        __, row_controller, __ = build_table(
+            replayed, columnar=False, dedup_enabled=True
+        )
+        __, chunk_controller, __ = build_table(
+            replayed, columnar=True, dedup_enabled=True
+        )
+        assert observable_state(row_controller) == observable_state(
+            chunk_controller
+        )
+
+    def test_upsert_table_degrades_to_rows_and_matches(self):
+        rng = seeded_rng(21, "chunk.upsert")
+        rows = [
+            {
+                "city": f"rider-{rng.randrange(8)}",
+                "status": "ok",
+                "amount": float(i),
+                "ts": (i + 1) * 0.5,
+            }
+            for i in range(120)
+        ]
+        kw = {"upsert_enabled": True, "primary_key": "city"}
+        row_clock, row_controller, __ = build_table(rows, False, **kw)
+        chunk_clock, chunk_controller, __ = build_table(rows, True, **kw)
+        query = PinotQuery(
+            table="metrics",
+            select_columns=["city", "amount"],
+            limit=1_000,
+        )
+        row_result = PinotBroker(row_controller, clock=row_clock).execute(query)
+        chunk_result = PinotBroker(chunk_controller, clock=chunk_clock).execute(
+            query
+        )
+        assert sorted(
+            tuple(sorted(r.items())) for r in row_result.rows
+        ) == sorted(tuple(sorted(r.items())) for r in chunk_result.rows)
+
+    def test_chunk_schema_validation_matches_row_errors(self):
+        rows = make_rows(10)
+        for row in rows:
+            row.pop("amount")  # non-nullable metric missing
+        with pytest.raises(SchemaError) as row_err:
+            build_table(rows, columnar=False)
+        with pytest.raises(SchemaError) as chunk_err:
+            build_table(rows, columnar=True)
+        assert str(row_err.value) == str(chunk_err.value)
+
+    def test_chunk_type_validation_matches_row_errors(self):
+        rows = make_rows(10)
+        rows[4]["amount"] = "not-a-number"
+        with pytest.raises(SchemaError) as row_err:
+            build_table(rows, columnar=False)
+        with pytest.raises(SchemaError) as chunk_err:
+            build_table(rows, columnar=True)
+        assert str(row_err.value) == str(chunk_err.value)
+
+
+class TestMutableSegmentChunkMode:
+    def test_row_append_materializes_pending_chunks(self):
+        segment = MutableSegment(name="seg")
+        batch = ColumnBatch.from_columns({"a": [1, 2], "b": ["x", "y"]})
+        segment.append_chunk(batch)
+        assert segment.num_docs == 2
+        segment.append({"a": 3, "b": "z"})
+        assert segment.num_docs == 3
+        assert not segment.chunks
+        assert segment.row(1) == {"a": 2, "b": "y"}
+        assert segment.row(2) == {"a": 3, "b": "z"}
+
+    def test_chunk_cells_readable_before_materialization(self):
+        segment = MutableSegment(name="seg")
+        segment.append({"a": 0})
+        segment.append_chunk(ColumnBatch.from_columns({"a": [1, 2]}))
+        assert [segment.value("a", d) for d in range(3)] == [0, 1, 2]
+        assert segment.value("missing", 2) is None
+
+    def test_seal_matches_row_path_column_layout(self):
+        rows = [{"a": i, "b": f"v{i % 3}"} for i in range(10)]
+        by_rows = MutableSegment(name="seg")
+        for row in rows:
+            by_rows.append(row)
+        by_chunks = MutableSegment(name="seg")
+        by_chunks.append_chunk(ColumnBatch.from_rows(rows[:4]))
+        by_chunks.append_chunk(ColumnBatch.from_rows(rows[4:]))
+        sealed_rows = by_rows.seal()
+        sealed_chunks = by_chunks.seal()
+        assert sealed_rows.num_docs == sealed_chunks.num_docs
+        for col in ("a", "b"):
+            assert [
+                sealed_rows.value(col, d) for d in range(sealed_rows.num_docs)
+            ] == [
+                sealed_chunks.value(col, d)
+                for d in range(sealed_chunks.num_docs)
+            ]
