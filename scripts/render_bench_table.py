@@ -4,8 +4,12 @@
 Reads the committed baseline (``BENCH_core.json``) and a fresh run
 (``BENCH_quick.json``), and writes a markdown table of deterministic
 rps per scenario with the relative change — the human-readable
-companion CI uploads next to the raw JSON.  Rendering is read-only:
-the regression *gate* stays in ``python -m repro.bench --baseline``.
+companion CI uploads next to the raw JSON.  A second table summarizes
+cache effectiveness (broker result cache, scan-share cache, stage
+artifacts, sticky-queue spills) from the current run's counters, so a
+locality regression is visible at a glance even when it stays inside
+the throughput gate's slack.  Rendering is read-only: the regression
+*gate* stays in ``python -m repro.bench --baseline``.
 
 Usage: render_bench_table.py BASELINE CURRENT [OUT.md]
 
@@ -26,6 +30,50 @@ def load_scenarios(path: Path) -> dict:
         print(f"cannot read bench report {path}: {exc}", file=sys.stderr)
         raise SystemExit(2)
     return doc.get("scenarios", {})
+
+
+#: label -> (hit counter, miss counter or None).  Misses of None means
+#: the layer only counts hits; the rate column is left blank for it.
+CACHE_COUNTERS = {
+    "broker result cache": ("pinot.cache_hits", "pinot.cache_misses"),
+    "scan share": ("pinot.scanshare_hits", "pinot.scanshare_misses"),
+    "stage artifacts": ("presto.stage_artifact_hits", None),
+    "queue spills": ("controlplane.queue_spills", "controlplane.queue_submits"),
+}
+
+
+def render_cache_table(current: dict) -> str:
+    lines = [
+        "| scenario | cache | hits | misses | hit rate |",
+        "| --- | --- | ---: | ---: | ---: |",
+    ]
+    rows = 0
+    for name in sorted(current):
+        counters = current[name].get("counters", {})
+        for label, (hit_key, miss_key) in CACHE_COUNTERS.items():
+            hits = counters.get(hit_key)
+            misses = counters.get(miss_key) if miss_key else None
+            if not hits and not misses:
+                continue  # layer never engaged in this scenario
+            hits = hits or 0
+            if misses is None:
+                rate = "—"
+                miss_cell = "—"
+            else:
+                # queue spills count against total submits, not misses.
+                total = misses if label == "queue spills" else hits + misses
+                rate = f"{hits / total:.1%}" if total else "—"
+                miss_cell = f"{misses:,}"
+            lines.append(f"| {name} | {label} | {hits:,} | {miss_cell} | {rate} |")
+            rows += 1
+    if not rows:
+        return ""
+    lines.append("")
+    lines.append(
+        "queue spills report spills/submits (lower is stickier); the "
+        "other rows report hits/(hits+misses)."
+    )
+    return "\n".join(lines) + "\n"
 
 
 def render(baseline: dict, current: dict) -> str:
@@ -49,7 +97,11 @@ def render(baseline: dict, current: dict) -> str:
         "rps is deterministic (op-cost model), so the quick run is "
         "directly comparable to the committed full baseline."
     )
-    return "\n".join(lines) + "\n"
+    out = "\n".join(lines) + "\n"
+    cache_table = render_cache_table(current)
+    if cache_table:
+        out += "\n## Cache effectiveness (current run)\n\n" + cache_table
+    return out
 
 
 def main(argv: list[str]) -> int:

@@ -22,7 +22,7 @@ regenerated rather than silently shifting the gate.
 
 from __future__ import annotations
 
-COST_MODEL_VERSION = 4
+COST_MODEL_VERSION = 5
 
 #: Virtual microseconds charged per counted operation.
 COST_US: dict[str, float] = {
@@ -51,7 +51,11 @@ COST_US: dict[str, float] = {
     "pinot.segments_scanned": 0.05,  # scatter bookkeeping per routed segment
     "pinot.segments_pruned": 0.05,  # bookkeeping per skipped segment
     "pinot.cache_hits": 1.0,  # cache lookup + epoch validation
+    "pinot.cache_misses": 0.4,  # cache lookup that found nothing fresh
     "pinot.cache_row_copies": 0.2,  # per cached row copied out
+    "pinot.scanshare_hits": 0.6,  # memoized filter resolution lookup
+    "pinot.scanshare_misses": 0.3,  # scan-share lookup miss
+    "pinot.scanshare_docs_served": 0.02,  # per memoized doc id copied out
     # -- presto (stage scheduler hot path) ------------------------------------
     "presto.stage_executions": 0.5,  # stage dispatch bookkeeping
     "presto.stage_artifact_hits": 1.0,  # artifact lookup + epoch validation
@@ -70,6 +74,7 @@ COST_US: dict[str, float] = {
     "controlplane.scaler_evals": 0.4,  # per-tick policy sweep share
     "controlplane.scale_actions": 1.0,  # actuator call + log line
     "controlplane.queue_submits": 0.3,  # earliest-free-worker scan
+    "controlplane.queue_spills": 0.3,  # sticky-subset overflow to the pool
     # -- columnar (vectorized batch plane) ------------------------------------
     # Per-batch/per-chunk costs amortize fixed work over every row in the
     # batch; per-row kernel costs are an order cheaper than their row-at-a-

@@ -386,6 +386,7 @@ def pinot_selective_query(params: dict, seed: int, probe) -> Outcome:
         clock=clock,
         enable_pruning=params.get("pruning", True),
         enable_cache=params.get("cache", True),
+        sticky=params.get("sticky", True),
     )
     span = n * 0.001  # ts covers (0, span]
     lookup_ids = sorted(f"ride-{rng.randrange(n):08d}" for __ in range(3))
@@ -697,6 +698,7 @@ SCENARIOS: tuple[ScenarioSpec, ...] = (
             "query_rounds": 4,
             "pruning": True,
             "cache": True,
+            "sticky": True,
         },
         quick_params={
             "records": 3_000,
@@ -705,6 +707,7 @@ SCENARIOS: tuple[ScenarioSpec, ...] = (
             "query_rounds": 4,
             "pruning": True,
             "cache": True,
+            "sticky": True,
         },
     ),
     ScenarioSpec(
@@ -771,6 +774,7 @@ SCENARIOS: tuple[ScenarioSpec, ...] = (
             "spike_end": 120.0,
             "broker_kill_at": 90.0,
             "broker_restart_at": 125.0,
+            "sticky": True,
         },
         quick_params={
             "control": True,
@@ -783,6 +787,7 @@ SCENARIOS: tuple[ScenarioSpec, ...] = (
             "spike_end": 60.0,
             "broker_kill_at": 45.0,
             "broker_restart_at": 65.0,
+            "sticky": True,
         },
     ),
 )

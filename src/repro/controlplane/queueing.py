@@ -12,37 +12,86 @@ Scaling is live: ``set_workers`` grows the pool (new workers are free
 immediately) or shrinks it (busy workers finish their current query
 first — we drop the *latest-free* slots).  All tie-breaks are by worker
 index, so the whole simulation is byte-deterministic.
+
+Sticky routing (``sticky=True`` plus a ``key`` on submit) assigns each
+key a rendezvous-hashed worker *subset* — the locality unit a real tier
+pins a user's session to, so per-worker state (plan caches, artifact
+stores) keeps paying off.  A sticky subset under pressure (its earliest
+free slot further than ``spill_threshold_s`` beyond the arrival) spills
+that query to the global pool: affinity is a preference, not a
+guarantee, exactly the bounded-load discipline of
+:func:`repro.common.hashring.bounded_pick`.
 """
 
 from __future__ import annotations
 
+from repro.common import hashring
 from repro.common.perf import PERF
 
 
 class QueryQueue:
     """Earliest-free-worker assignment over a resizable pool."""
 
-    def __init__(self, workers: int = 2) -> None:
+    def __init__(
+        self,
+        workers: int = 2,
+        sticky: bool = False,
+        subset_size: int = 2,
+        spill_threshold_s: float = 0.25,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         self._free: list[float] = [0.0] * workers
+        self.sticky = sticky
+        self.subset_size = max(1, subset_size)
+        self.spill_threshold_s = spill_threshold_s
+        self.sticky_submits = 0
+        self.spills = 0
 
     @property
     def workers(self) -> int:
         return len(self._free)
 
-    def submit(self, arrival: float, service_s: float) -> tuple[float, float]:
-        """Enqueue one query; returns ``(start, completion)`` times."""
+    def submit(
+        self,
+        arrival: float,
+        service_s: float,
+        key=None,
+        tier=None,
+    ) -> tuple[float, float]:
+        """Enqueue one query; returns ``(start, completion)`` times.
+
+        With ``sticky`` enabled and a ``key`` given, the query prefers
+        the key's rendezvous worker subset (scoped per ``tier`` so one
+        tier's hot keys don't pin another tier's) and spills to the
+        whole pool only when the subset is ``spill_threshold_s`` behind.
+        """
         if PERF.enabled:
             PERF.inc("controlplane.queue_submits")
-        best = 0
-        for i in range(1, len(self._free)):
-            if self._free[i] < self._free[best]:
-                best = i
+        best = self._earliest_free(range(len(self._free)))
+        if self.sticky and key is not None and len(self._free) > 1:
+            subset = hashring.pick_subset(
+                (tier, key), range(len(self._free)), self.subset_size
+            )
+            sticky_best = self._earliest_free(subset)
+            if self._free[sticky_best] - arrival <= self.spill_threshold_s:
+                best = sticky_best
+                self.sticky_submits += 1
+            else:
+                self.spills += 1
+                if PERF.enabled:
+                    PERF.inc("controlplane.queue_spills")
         start = max(arrival, self._free[best])
         completion = start + service_s
         self._free[best] = completion
         return start, completion
+
+    def _earliest_free(self, indices) -> int:
+        best = None
+        for i in indices:
+            if best is None or self._free[i] < self._free[best]:
+                best = i
+        return best
 
     def set_workers(self, workers: int) -> None:
         workers = max(1, workers)

@@ -17,10 +17,15 @@ work:
   of distinct users through skewed/diurnal arrivals with a spike that
   pushes the serving layer far past capacity;
 * admitted queries execute for real (broker scatter/gather or Presto
-  over the connector), their *cost-model virtual time* becomes service
-  time in a :class:`~repro.controlplane.queueing.QueryQueue`, and the
-  completion latencies feed the admission controller's p99 guard and the
-  per-tier SLO report;
+  over the connector) and flow through **two** queue models.  The
+  *reference* queue prices every query by a routing-invariant planning
+  estimate (:meth:`PinotBroker.estimate_rows` docs) and drives all
+  decision-relevant state — admission pressure, the p99 guard, the
+  worker scaler — so sticky routing and every cache are invisible in
+  the decision log, byte for byte.  The *serving* queue prices by
+  measured cost-model virtual time with sticky per-user worker subsets
+  and feeds the per-tier SLO report: that is where locality and scan
+  sharing actually show up as lower latency;
 * mid-spike **chaos**: a Kafka broker dies (and later restarts) in both
   the controlled run and the ablation, so the controller must scale
   while the write path is degraded.
@@ -34,7 +39,7 @@ from __future__ import annotations
 
 import hashlib
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common import serde
 from repro.common.clock import SimulatedClock
@@ -73,6 +78,13 @@ DEFAULT_PARAMS = {
     "max_workers": 32,
     "service_floor_s": 0.02,
     "service_us_scale": 1.5e-4,  # sim seconds per virtual microsecond
+    # reference-queue pricing: virtual microseconds per estimated doc
+    # (routing- and cache-invariant, so decisions never see stickiness)
+    "service_est_us_per_row": 0.55,
+    # sticky locality (broker replica choice, stage pinning, queue subsets)
+    "sticky": True,
+    "queue_subset": 2,
+    "queue_spill_s": 0.25,
     # background cadence
     "telemetry_rps_factor": 6.0,
     "eval_interval": 2.0,
@@ -117,6 +129,11 @@ class SurgeReport:
     #: request_id -> digest of the admitted query's (sorted) result rows
     query_digests: dict
     decision_log: str
+    #: Cache-effectiveness observability (broker result cache per tier,
+    #: scan-share, stage artifacts, sticky queue).  Diagnostic only —
+    #: like ``per_tier`` it is deliberately outside ``check``, which
+    #: covers exactly the state that must not depend on routing policy.
+    cache_stats: dict = field(default_factory=dict)
 
     @property
     def check(self) -> int:
@@ -235,6 +252,12 @@ def _build_telemetry(params: dict, clock, kafka, controller):
     return state, runtime
 
 
+def _exploration_floor(param: int) -> float:
+    """The exploration tier's amount floor for one request param (shared
+    with the reference-queue estimate, which must price the same scan)."""
+    return ((param >> 4) % 180) / 2.0
+
+
 def _query_for(request, cities, span_end: float):
     """The deterministic per-tier query template for one request.
 
@@ -244,14 +267,18 @@ def _query_for(request, cities, span_end: float):
     """
     from repro.pinot.query import Aggregation, Filter, PinotQuery
 
-    # ``frac`` spreads the full param space over each template's filter
-    # constants, so distinct users ask distinct questions and the broker
-    # result cache sees a realistic (Zipf-skewed) hit rate rather than
-    # absorbing the whole surge.
-    frac = request.param / max(1, 4096)
+    # Filter constants are drawn from *independent* bit slices of the
+    # request param: the city from the low bits, the time window from a
+    # 64-step grid on bits 5..10 (dashboards round their windows to
+    # bucket boundaries).  Distinct users therefore still ask distinct
+    # questions — the broker result cache sees a realistic Zipf-skewed
+    # hit rate, not the whole surge — while the *predicates* repeat
+    # across cities and users, which is precisely the sharing the
+    # per-server scan-share cache monetizes under sticky routing.
+    wslot = (request.param >> 5) % 64
     city = cities[request.param % len(cities)]
     if request.use_case == "surge_pricing":
-        lo = span_end * (0.35 + 0.6 * frac)
+        lo = span_end * (0.35 + 0.6 * wslot / 64)
         return PinotQuery(
             table="rides",
             aggregations=[Aggregation("COUNT"), Aggregation("SUM", "amount")],
@@ -266,13 +293,15 @@ def _query_for(request, cities, span_end: float):
             aggregations=[Aggregation("SUM", "amount"), Aggregation("COUNT")],
             filters=[
                 Filter("city", "=", city),
-                Filter("ts", "BETWEEN", low=span_end * 0.7 * frac, high=span_end),
+                Filter(
+                    "ts", "BETWEEN", low=span_end * 0.7 * wslot / 64, high=span_end
+                ),
             ],
             group_by=["status"],
             limit=100,
         )
     if request.use_case == "ads_attribution":
-        lo = span_end * 0.85 * frac
+        lo = span_end * 0.85 * wslot / 64
         width = span_end * 0.15
         return PinotQuery(
             table="rides",
@@ -280,7 +309,7 @@ def _query_for(request, cities, span_end: float):
             filters=[Filter("ts", "BETWEEN", low=lo, high=min(lo + width, span_end))],
         )
     # exploration: federated SQL through Presto (pushdown to the broker).
-    floor = (request.param % 900) / 10.0
+    floor = _exploration_floor(request.param)
     return (
         f"SELECT city, COUNT(*) AS n, SUM(amount) AS total FROM rides "
         f"WHERE amount >= {floor} GROUP BY city"
@@ -296,6 +325,7 @@ def run_surge(params: dict, seed: int, probe=None) -> SurgeReport:
     from repro.pinot.controller import PinotController
     from repro.pinot.recovery import PeerToPeerBackup
     from repro.pinot.server import PinotServer
+    from repro.pinot.query import Filter
     from repro.sql.presto.connector import PinotConnector
     from repro.sql.presto.engine import PrestoEngine
     from repro.storage.blobstore import BlobStore
@@ -318,13 +348,24 @@ def run_surge(params: dict, seed: int, probe=None) -> SurgeReport:
         rides, cities = _build_rides(params, seed, clock, kafka, controller, probe)
         telemetry, flink = _build_telemetry(params, clock, kafka, controller)
         span_end = clock.now()
-        broker = PinotBroker(controller, clock=clock)
+        sticky = bool(params["sticky"])
+        broker = PinotBroker(controller, clock=clock, sticky=sticky)
         engine = PrestoEngine(
             {"rides": PinotConnector(broker, pushdown="full")},
             clock=clock,
             workers=params["workers"],
+            sticky=sticky,
         )
-        queue = QueryQueue(workers=params["workers"])
+        # Reference queue: estimate-priced, decision-driving (pressure,
+        # p99 feedback, worker scaling).  Serving queue: measured-cost,
+        # sticky per-user subsets, SLO-report-driving.  See module doc.
+        ref_queue = QueryQueue(workers=params["workers"])
+        serving_queue = QueryQueue(
+            workers=params["workers"],
+            sticky=sticky,
+            subset_size=params["queue_subset"],
+            spill_threshold_s=params["queue_spill_s"],
+        )
         log = DecisionLog()
         slo = SloMonitor(TIER_QUERY_SLOS)
 
@@ -337,7 +378,7 @@ def run_surge(params: dict, seed: int, probe=None) -> SurgeReport:
         if control:
             admission = AdmissionController(
                 hold_s=params["eval_interval"],
-                pressure=lambda: queue.backlog_per_worker(now_cell["t"]),
+                pressure=lambda: ref_queue.backlog_per_worker(now_cell["t"]),
                 pressure_levels=PRESSURE_LEVELS,
                 log=log,
             )
@@ -345,10 +386,11 @@ def run_surge(params: dict, seed: int, probe=None) -> SurgeReport:
             scaler.add_policy(
                 ResourcePolicy(
                     name="presto.workers",
-                    signal=lambda: queue.backlog_per_worker(now_cell["t"]),
-                    current=lambda: queue.workers,
+                    signal=lambda: ref_queue.backlog_per_worker(now_cell["t"]),
+                    current=lambda: ref_queue.workers,
                     apply=lambda n: (
-                        queue.set_workers(n),
+                        ref_queue.set_workers(n),
+                        serving_queue.set_workers(n),
                         setattr(engine.scheduler, "workers", n),
                     ),
                     scale_up_threshold=0.2,
@@ -453,7 +495,9 @@ def run_surge(params: dict, seed: int, probe=None) -> SurgeReport:
         next_eval = params["eval_interval"]
         killed = restarted = False
         completions: list[tuple[float, int, str, float]] = []
+        ref_completions: list[tuple[float, int, str, float]] = []
         digests: dict[str, int] = {}
+        tier_cache: dict[str, list[int]] = {}  # tier -> [hits, lookups]
         requests = admitted = shed = 0
         seq = 0
         scale_actions = {"n": 0}
@@ -495,12 +539,17 @@ def run_surge(params: dict, seed: int, probe=None) -> SurgeReport:
                 next_eval += params["eval_interval"]
 
         def drain_completions(upto: float) -> None:
+            # Serving completions (measured, sticky) -> the SLO report;
+            # reference completions (estimated, routing-invariant) -> the
+            # admission p99 guard, so shed decisions can't see routing.
             while completions and completions[0][0] <= upto:
-                done_t, __, use_case, latency = heapq.heappop(completions)
+                __, __, use_case, latency = heapq.heappop(completions)
                 target = next(
                     s for s in TIER_QUERY_SLOS if s.use_case == use_case
                 )
                 slo.observe(use_case, target.metric, latency)
+            while ref_completions and ref_completions[0][0] <= upto:
+                done_t, __, use_case, latency = heapq.heappop(ref_completions)
                 if admission is not None:
                     admission.observe_latency(use_case, latency, done_t)
 
@@ -518,6 +567,25 @@ def run_surge(params: dict, seed: int, probe=None) -> SurgeReport:
                 continue
             admitted += 1
             query = _query_for(request, cities, span_end)
+            # Reference price: planning-time cardinality bound, identical
+            # whatever the routing policy or cache state.  The exploration
+            # SQL's only broker-visible predicate is its amount floor.
+            if isinstance(query, str):
+                est_filters = [
+                    Filter("amount", ">=", _exploration_floor(request.param))
+                ]
+            else:
+                est_filters = list(query.filters)
+            with probe.op():
+                est_docs, __ = broker.estimate_rows("rides", est_filters)
+            est_service_s = (
+                params["service_floor_s"]
+                + est_docs
+                * params["service_est_us_per_row"]
+                * params["service_us_scale"]
+            )
+            hits0 = PERF.counts.get("pinot.cache_hits", 0)
+            miss0 = PERF.counts.get("pinot.cache_misses", 0)
             before = _virtual_cost()
             with probe.op():
                 if isinstance(query, str):
@@ -525,12 +593,25 @@ def run_surge(params: dict, seed: int, probe=None) -> SurgeReport:
                 else:
                     rows = broker.execute(query).rows
             cost_us = _virtual_cost() - before
+            tier = tier_cache.setdefault(request.use_case, [0, 0])
+            delta_hits = PERF.counts.get("pinot.cache_hits", 0) - hits0
+            tier[0] += delta_hits
+            tier[1] += delta_hits + (
+                PERF.counts.get("pinot.cache_misses", 0) - miss0
+            )
             service_s = (
                 params["service_floor_s"]
                 + cost_us * params["service_us_scale"]
             )
-            __, completion = queue.submit(t, service_s)
             seq += 1
+            __, ref_completion = ref_queue.submit(t, est_service_s)
+            heapq.heappush(
+                ref_completions,
+                (ref_completion, seq, request.use_case, ref_completion - t),
+            )
+            __, completion = serving_queue.submit(
+                t, service_s, key=request.user_id, tier=request.use_case
+            )
             heapq.heappush(
                 completions, (completion, seq, request.use_case, completion - t)
             )
@@ -552,6 +633,47 @@ def run_surge(params: dict, seed: int, probe=None) -> SurgeReport:
             "met": bool(ev.met),
             "count": ev.sample_count,
         }
+
+    def _rate(hits: int, lookups: int) -> float:
+        return hits / lookups if lookups else 0.0
+
+    broker_hits = sum(v[0] for v in tier_cache.values())
+    broker_lookups = sum(v[1] for v in tier_cache.values())
+    scan_hits = sum(s.scan_cache.hits for s in controller.servers)
+    scan_misses = sum(s.scan_cache.misses for s in controller.servers)
+    stage_stats = engine.scheduler.artifact_stats()
+    cache_stats = {
+        "broker": {
+            "hits": broker_hits,
+            "lookups": broker_lookups,
+            "hit_rate": _rate(broker_hits, broker_lookups),
+            "per_tier": {
+                tier: {"hits": h, "lookups": n, "hit_rate": _rate(h, n)}
+                for tier, (h, n) in sorted(tier_cache.items())
+            },
+        },
+        "scan_share": {
+            "hits": scan_hits,
+            "misses": scan_misses,
+            "hit_rate": _rate(scan_hits, scan_hits + scan_misses),
+            "docs_served": sum(
+                s.scan_cache.docs_served for s in controller.servers
+            ),
+            "entries": sum(
+                s.scan_cache.entry_count() for s in controller.servers
+            ),
+        },
+        "stage_artifacts": {
+            **stage_stats,
+            "hit_rate": _rate(
+                stage_stats["hits"], stage_stats["hits"] + stage_stats["misses"]
+            ),
+        },
+        "queue": {
+            "sticky_submits": serving_queue.sticky_submits,
+            "spills": serving_queue.spills,
+        },
+    }
     return SurgeReport(
         requests=requests,
         admitted=admitted,
@@ -561,6 +683,7 @@ def run_surge(params: dict, seed: int, probe=None) -> SurgeReport:
         per_tier=per_tier,
         query_digests=digests,
         decision_log=log.render(),
+        cache_stats=cache_stats,
     )
 
 

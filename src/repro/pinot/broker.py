@@ -22,6 +22,18 @@ latency/cost edge: touch as little irrelevant data as possible):
   invalidation never depends on wall-clock TTLs (which would be
   non-deterministic under the simulated clock, and stale besides).
 
+* **Sticky replica routing + scan sharing** (``sticky=True``, the
+  default) — a replica-eligible sealed segment is routed by weighted
+  rendezvous hash over its live hosts (:mod:`repro.common.hashring`),
+  so the same segment's subqueries keep landing on the same server and
+  that server's :class:`~repro.pinot.scanshare.ScanShareCache` —
+  epoch-keyed memoized filter resolutions — actually pays.  The
+  ablation (``sticky=False``) load-balances the classic way instead,
+  rotating replicas per query, and disables scan sharing.  Both
+  policies pick from the *full* segment list (never from pruning
+  decisions) and results are merged in canonical segment order, so
+  routing policy is invisible in results, byte for byte.
+
 For upsert tables the broker applies the Section 4.3.1 routing strategy:
 all *surviving* segments of one input partition still go to the partition's
 owning server in a single subquery, so the server's local valid-doc-id sets
@@ -38,6 +50,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.common import hashring
 from repro.common.clock import Clock, SystemClock
 from repro.common.errors import PinotError, QueryError
 from repro.common.metrics import MetricsRegistry
@@ -176,6 +189,7 @@ class PinotBroker:
         enable_pruning: bool = True,
         enable_cache: bool = True,
         cache_capacity_per_table: int = 128,
+        sticky: bool = True,
     ) -> None:
         self.controller = controller
         self.clock = clock or SystemClock()
@@ -183,7 +197,11 @@ class PinotBroker:
         self.metrics = metrics or MetricsRegistry("pinot.broker")
         self.enable_pruning = enable_pruning
         self.enable_cache = enable_cache
+        self.sticky = sticky
         self.cache = BrokerResultCache(cache_capacity_per_table)
+        # Scatter-ablation rotation state: advances once per routed query
+        # (never per segment), so replica choice is pruning-invariant.
+        self._route_seq = 0
 
     def execute(self, query: PinotQuery, columnar: bool = False) -> QueryResult:
         start = self.clock.now() if self.tracer is not None else 0.0
@@ -199,7 +217,11 @@ class PinotBroker:
             if cached is not None:
                 return self._serve_cached(query, cached, start)
             self.metrics.counter("cache_misses").inc()
+            if PERF.enabled:
+                PERF.inc("pinot.cache_misses")
+        self._route_seq += 1
         subqueries, pruned = self._route(state, query)
+        scan_epoch = epoch if self.sticky else None
         partials: list[PartialResult] = []
         servers = 0
         scanned = 0
@@ -210,7 +232,11 @@ class PinotBroker:
             scanned += len(segment_names)
             partials.extend(
                 server.execute(
-                    query, segment_names, upsert_partition, columnar=columnar
+                    query,
+                    segment_names,
+                    upsert_partition,
+                    columnar=columnar,
+                    scan_epoch=scan_epoch,
                 )
             )
         self.metrics.counter("queries").inc()
@@ -330,6 +356,9 @@ class PinotBroker:
         filters = query.filters if self.enable_pruning else []
         allowed_partitions = self._partition_candidates(state, filters)
         upsert = state.config.upsert_enabled
+        # One name->server map per route call, instead of an O(servers)
+        # linear scan per emitted subquery.
+        by_name = {s.name: s for s in self.controller.servers}
         for partition, pstate in state.ingestion.partitions.items():
             segment_names = state.ingestion.segments_of_partition(partition)
             if (
@@ -360,11 +389,12 @@ class PinotBroker:
             candidates = [state.owners[partition]] + state.replicas[partition]
             per_server: dict[str, list[str]] = {}
             for name in pstate.sealed_segments:
-                host = next(
-                    (s for s in candidates if s.alive and s.has_segment(name)), None
-                )
-                if host is None:
+                hosts = [
+                    s for s in candidates if s.alive and s.has_segment(name)
+                ]
+                if not hosts:
                     raise PinotError(f"no live replica hosts segment {name!r}")
+                host = self._pick_host(query.table, name, hosts)
                 # Establish the server's slot even when the segment prunes,
                 # so subquery order never depends on pruning decisions.
                 names = per_server.setdefault(host.name, [])
@@ -379,12 +409,12 @@ class PinotBroker:
             for server_name, names in per_server.items():
                 if not names:
                     continue
-                server = next(s for s in self.controller.servers if s.name == server_name)
-                out.append((server, names, None))
+                out.append((by_name[server_name], names, None))
         for segment_name, hosts in state.offline_segments.items():
-            host = next((s for s in hosts if s.alive), None)
-            if host is None:
+            live = [s for s in hosts if s.alive]
+            if not live:
                 raise PinotError(f"no live host for offline segment {segment_name!r}")
+            host = self._pick_host(query.table, segment_name, live)
             segment = host.segments.get(segment_name)
             if (
                 allowed_partitions is not None
@@ -396,6 +426,27 @@ class PinotBroker:
                 continue
             out.append((host, [segment_name], None))
         return out, pruned
+
+    def _pick_host(
+        self, table: str, segment_name: str, hosts: list[PinotServer]
+    ) -> PinotServer:
+        """The replica that serves this segment's subquery.
+
+        Sticky: weighted rendezvous on (table, segment) over the live
+        hosts — the same segment keeps hitting the same server while it
+        stays alive, so that server's scan-share cache pays; membership
+        change moves only the affected segment's keys.  Scatter
+        ablation: rotate the live replica list per routed query.  Both
+        depend only on the segment's identity and replica liveness —
+        never on pruning decisions — so routing policy cannot perturb
+        which segments are scanned.
+        """
+        if len(hosts) == 1:
+            return hosts[0]
+        if self.sticky:
+            name = hashring.pick((table, segment_name), [s.name for s in hosts])
+            return next(s for s in hosts if s.name == name)
+        return hosts[self._route_seq % len(hosts)]
 
     @staticmethod
     def _prunable(segment, filters) -> bool:
@@ -448,6 +499,13 @@ class PinotBroker:
     # -- merging -----------------------------------------------------------------
 
     def _merge(self, query: PinotQuery, partials: list[PartialResult]) -> QueryResult:
+        # Canonical merge order: fold partials in segment-name order, not
+        # scatter order.  Float aggregation is order-sensitive bit for
+        # bit, and scatter order depends on routing policy; segment names
+        # do not, so sticky on/off stays byte-identical.
+        partials = sorted(
+            partials, key=lambda p: p.plan.segment if p.plan is not None else ""
+        )
         plans = [p.plan for p in partials if p.plan is not None]
         if query.is_aggregation():
             merged: dict[tuple, list[Any]] = {}

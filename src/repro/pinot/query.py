@@ -237,6 +237,25 @@ def _resolve_filter(
     return [d for d, code in enumerate(codes) if mask[code]]
 
 
+def _scan_shareable(segment: ImmutableSegment, flt: Filter) -> bool:
+    """Whether :func:`_resolve_filter` would take a doc-examining path.
+
+    Mirrors its dispatch order: sorted and inverted resolutions are pure
+    index lookups, already cheaper than a scan-share cache hit, so only
+    range-boundary refinements and forward-index scans are worth
+    memoizing.
+    """
+    if (
+        segment.sorted_index is not None
+        and flt.column == segment.index_config.sort_column
+        and flt.op in ("=", ">", ">=", "<", "<=", "BETWEEN")
+    ):
+        return False
+    if flt.column in segment.inverted and flt.op in ("=", "IN"):
+        return False
+    return True
+
+
 def _try_startree(
     segment: ImmutableSegment, query: PinotQuery, plan: SegmentPlan
 ) -> PartialResult | None:
@@ -339,6 +358,8 @@ def execute_on_segment(
     query: PinotQuery,
     valid_doc_ids: set[int] | None = None,
     columnar: bool = False,
+    scan_cache=None,
+    scan_epoch: int | None = None,
 ) -> PartialResult:
     """Run a query against one segment, returning mergeable partials.
 
@@ -346,14 +367,18 @@ def execute_on_segment(
     an upsert table (Section 4.3.1); ``None`` means all docs are valid.
     ``columnar`` makes selection queries return :class:`ColumnBatch`
     pages (``PartialResult.pages``) instead of row dicts — same logical
-    rows, no materialization.
+    rows, no materialization.  ``scan_cache`` (a per-server
+    :class:`~repro.pinot.scanshare.ScanShareCache`) with ``scan_epoch``
+    (the table epoch) memoizes doc-examining filter resolutions across
+    queries; memoization happens *before* ``valid_doc_ids`` filtering,
+    so upsert validity is always applied fresh.
     """
     plan = SegmentPlan(segment=segment.name)
     if isinstance(segment, ImmutableSegment) and valid_doc_ids is None:
         startree_result = _try_startree(segment, query, plan)
         if startree_result is not None:
             return startree_result
-    matching = _matching_docs(segment, query, plan)
+    matching = _matching_docs(segment, query, plan, scan_cache, scan_epoch)
     if valid_doc_ids is not None:
         matching = [d for d in matching if d in valid_doc_ids]
     partial = PartialResult(plan=plan)
@@ -406,9 +431,12 @@ def _matching_docs(
     segment: ImmutableSegment | MutableSegment,
     query: PinotQuery,
     plan: SegmentPlan,
+    scan_cache=None,
+    scan_epoch: int | None = None,
 ) -> list[int]:
     if isinstance(segment, MutableSegment):
-        # Consuming segments have no indexes; always scan.
+        # Consuming segments have no indexes; always scan.  They also
+        # mutate between queries, so they are never scan-share cached.
         plan.access_paths.extend(f"scan:{f.column}" for f in query.filters)
         plan.docs_examined += segment.num_docs
         return [
@@ -422,7 +450,26 @@ def _matching_docs(
         return list(range(segment.num_docs))
     docs: list[int] | None = None
     for flt in query.filters:
-        selected = _resolve_filter(segment, flt, plan)
+        selected = None
+        share_key = None
+        if (
+            scan_cache is not None
+            and scan_epoch is not None
+            and _scan_shareable(segment, flt)
+        ):
+            share_key = scan_cache.key_for(segment.name, scan_epoch, flt)
+            if share_key is not None:
+                selected = scan_cache.get(share_key, plan)
+        if selected is None:
+            examined_before = plan.docs_examined
+            selected = _resolve_filter(segment, flt, plan)
+            if share_key is not None:
+                scan_cache.put(
+                    share_key,
+                    selected,
+                    plan.access_paths[-1],
+                    plan.docs_examined - examined_before,
+                )
         docs = selected if docs is None else intersect_sorted(docs, selected)
         if not docs:
             return []

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.common.errors import SegmentError
 from repro.common.metrics import MetricsRegistry
 from repro.pinot.query import PartialResult, PinotQuery, execute_on_segment
+from repro.pinot.scanshare import ScanShareCache
 from repro.pinot.segment import ImmutableSegment, MutableSegment
 from repro.pinot.upsert import UpsertManager
 
@@ -32,6 +33,9 @@ class PinotServer:
     metrics: MetricsRegistry = field(
         default_factory=lambda: MetricsRegistry("pinot.server")
     )
+    # Memoized filter resolutions (see repro.pinot.scanshare); consulted
+    # only when the broker passes a table epoch alongside the subquery.
+    scan_cache: ScanShareCache = field(default_factory=ScanShareCache)
 
     def host_segment(self, segment: ImmutableSegment | MutableSegment) -> None:
         self.segments[segment.name] = segment
@@ -54,13 +58,16 @@ class PinotServer:
         segment_names: list[str],
         upsert_partition: int | None = None,
         columnar: bool = False,
+        scan_epoch: int | None = None,
     ) -> list[PartialResult]:
         """Run a subquery over the named hosted segments.
 
         For upsert tables the broker routes all of one partition's segments
         here and passes ``upsert_partition`` so execution honours the local
         valid-doc-id sets.  ``columnar`` requests ColumnBatch pages for
-        selection queries (the vectorized scan path).
+        selection queries (the vectorized scan path).  ``scan_epoch`` (the
+        table epoch at routing time) enables the per-server scan-share
+        cache for this subquery; None keeps every resolution fresh.
         """
         if not self.alive:
             raise SegmentError(f"server {self.name} is down")
@@ -70,13 +77,21 @@ class PinotServer:
             if upsert_partition is not None
             else None
         )
+        scan_cache = self.scan_cache if scan_epoch is not None else None
         for name in segment_names:
             segment = self.segments.get(name)
             if segment is None:
                 raise SegmentError(f"server {self.name} does not host {name!r}")
             valid = manager.valid_docs(name) if manager is not None else None
             partials.append(
-                execute_on_segment(segment, query, valid, columnar=columnar)
+                execute_on_segment(
+                    segment,
+                    query,
+                    valid,
+                    columnar=columnar,
+                    scan_cache=scan_cache,
+                    scan_epoch=scan_epoch,
+                )
             )
             self.metrics.counter("subqueries").inc()
         return partials

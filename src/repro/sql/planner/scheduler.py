@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.columnar import pages_to_rows
+from repro.common import hashring
 from repro.common.errors import SqlPlanError
 from repro.common.perf import PERF
 from repro.sql.planner.physical import PhysicalPlan, Stage
@@ -204,31 +205,82 @@ class StageExecution:
 class StageScheduler:
     """Deterministic multi-worker executor for one physical plan.
 
-    Workers are simulated: stages are grouped into dependency waves and
-    assigned round-robin within each wave — the schedule (recorded in
-    spans and :class:`StageExecution`) is what a real worker pool would
-    produce, while execution stays single-threaded and reproducible.
+    Workers are simulated: stages are grouped into dependency waves, and
+    each stage is *pinned* to a worker by rendezvous hash of its content
+    key (``sticky=True``, the default), so the worker that computed a
+    stage is the worker probed for its artifact — reuse is a property of
+    the plan, not of scheduling luck.  The ablation (``sticky=False``)
+    rotates placement per query, the classic load-balancing scatter.
+    The schedule (recorded in spans and :class:`StageExecution`) is what
+    a real worker pool would produce, while execution stays
+    single-threaded and reproducible.
     """
 
     def __init__(
         self,
         catalog: dict[str, Any],
         workers: int = 2,
-        artifacts: StageArtifactStore | None = None,
+        artifact_reuse: bool = True,
+        artifact_capacity: int = 256,
+        sticky: bool = True,
         tracer=None,
         clock=None,
     ) -> None:
         self.catalog = catalog
-        self.workers = max(1, workers)
-        self.artifacts = artifacts
+        self.artifact_reuse = artifact_reuse
+        self.artifact_capacity = artifact_capacity
+        self.sticky = sticky
         self.tracer = tracer
         self.clock = clock
+        # Artifact stores are per worker: a real pool's memo lives in each
+        # worker's memory, so a hit requires landing the stage on the
+        # worker that computed it.  Sticky placement (content-keyed
+        # rendezvous on ``stage.key``) makes that deterministic; the
+        # scatter ablation rotates placement and hits become luck.
+        self._stores: list[StageArtifactStore] = []
+        self._rotation = 0
+        self._workers = 0
+        self.workers = workers
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @workers.setter
+    def workers(self, n: int) -> None:
+        self._workers = max(1, int(n))
+        while len(self._stores) < self._workers:
+            self._stores.append(StageArtifactStore(self.artifact_capacity))
+        # Shrinking keeps the excess stores warm: only the first n are
+        # addressable, and scaling back up re-finds their entries.
+
+    def _worker_for(self, stage: Stage) -> int:
+        if self._workers == 1:
+            return 0
+        if self.sticky:
+            return hashring.pick(stage.key, range(self._workers))
+        return (self._rotation + stage.sid) % self._workers
+
+    def _store_for(self, stage: Stage) -> StageArtifactStore | None:
+        if not self.artifact_reuse:
+            return None
+        return self._stores[self._worker_for(stage)]
+
+    def artifact_stats(self) -> dict[str, int]:
+        """Aggregate hit/miss counts across the per-worker stores."""
+        return {
+            "hits": sum(s.hits for s in self._stores),
+            "misses": sum(s.misses for s in self._stores),
+            "invalidations": sum(s.invalidations for s in self._stores),
+            "entries": sum(s.entry_count() for s in self._stores),
+        }
 
     # -- entry point ----------------------------------------------------------
 
     def run(
         self, plan: PhysicalPlan, epochs: dict[str, int | None], query_id: str
     ) -> tuple[StagePayload, list[StageExecution]]:
+        self._rotation += 1  # scatter-ablation placement state
         served: dict[int, StagePayload] = {}
         needed: set[int] = set()
 
@@ -239,10 +291,11 @@ class StageScheduler:
 
         def probe(sid: int) -> None:
             stage = plan.stages[sid]
-            if self.artifacts is not None:
+            store = self._store_for(stage)
+            if store is not None:
                 sig = signature(stage)
                 if sig is not None:
-                    payload = self.artifacts.get(stage.key, sig)
+                    payload = store.get(stage.key, sig)
                     if payload is not None:
                         served[sid] = payload
                         return
@@ -275,9 +328,8 @@ class StageScheduler:
         for sid in sorted(needed):
             stage = plan.stages[sid]
             wave = wave_of[sid]
-            slot = slot_in_wave.get(wave, 0)
-            slot_in_wave[wave] = slot + 1
-            worker = slot % self.workers
+            slot_in_wave[wave] = slot_in_wave.get(wave, 0) + 1
+            worker = self._worker_for(stage)
             input_stages = [plan.stages[i] for i in stage.inputs]
             payloads = [done[i] for i in stage.inputs]
             payload = self._execute(stage, input_stages, payloads)
@@ -291,10 +343,11 @@ class StageScheduler:
                 query_id, stage, served=False, rows=payload.num_rows(),
                 wave=wave, worker=worker,
             )
-            if self.artifacts is not None:
+            store = self._store_for(stage)
+            if store is not None:
                 sig = signature(stage)
                 if sig is not None:
-                    self.artifacts.put(stage.key, sig, payload)
+                    store.put(stage.key, sig, payload)
         executions.sort(key=lambda e: e.sid)
         return done[plan.root], executions
 

@@ -38,7 +38,7 @@ from repro.sql.planner.logical import (
 )
 from repro.sql.planner.physical import PhysicalPlan, build_physical, render_physical
 from repro.sql.planner.rules import optimize
-from repro.sql.planner.scheduler import StageArtifactStore, StageScheduler
+from repro.sql.planner.scheduler import StageScheduler
 
 # Back-compat: these helpers used to be defined here; FlinkSQL and older
 # call sites import the underscore names.  They now live in
@@ -129,18 +129,18 @@ class PrestoEngine:
         workers: int = 2,
         artifact_reuse: bool = True,
         artifact_capacity: int = 256,
+        sticky: bool = True,
     ) -> None:
         # catalog: logical table name -> connector serving it
         self.catalog = catalog
         self.clock = clock or SystemClock()
         self.tracer = tracer
-        self.artifacts = (
-            StageArtifactStore(artifact_capacity) if artifact_reuse else None
-        )
         self.scheduler = StageScheduler(
             catalog,
             workers=workers,
-            artifacts=self.artifacts,
+            artifact_reuse=artifact_reuse,
+            artifact_capacity=artifact_capacity,
+            sticky=sticky,
             tracer=tracer,
             clock=self.clock,
         )

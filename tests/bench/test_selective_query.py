@@ -16,8 +16,10 @@ PARAMS = {
 }
 
 
-def run(pruning: bool, cache: bool):
-    params = dict(PARAMS, pruning=pruning, cache=cache)
+def run(pruning: bool, cache: bool, sticky: bool = False):
+    # sticky (replica affinity + scan sharing) defaults off here so each
+    # test isolates exactly the optimizations it names.
+    params = dict(PARAMS, pruning=pruning, cache=cache, sticky=sticky)
     reset_uid_counter()
     with measured():
         outcome = pinot_selective_query(params, 42, OpProbe())
@@ -27,7 +29,7 @@ def run(pruning: bool, cache: bool):
 
 
 def test_pruning_and_cache_double_throughput_without_changing_results():
-    optimized, opt_counters, opt_rps = run(pruning=True, cache=True)
+    optimized, opt_counters, opt_rps = run(pruning=True, cache=True, sticky=True)
     ablated, abl_counters, abl_rps = run(pruning=False, cache=False)
     # Same seeded workload, same answers: the digest covers every query's
     # rows in every round.
@@ -38,10 +40,11 @@ def test_pruning_and_cache_double_throughput_without_changing_results():
     assert opt_counters["pinot.cache_hits"] > 0
     assert "pinot.segments_pruned" not in abl_counters
     assert "pinot.cache_hits" not in abl_counters
+    assert "pinot.scanshare_hits" not in abl_counters
     # ...and pay off: the acceptance bar is 2x deterministic throughput.
     assert opt_rps >= 2 * abl_rps
     # Deterministic: a second optimized run reproduces counters exactly.
-    again, again_counters, __ = run(pruning=True, cache=True)
+    again, again_counters, __ = run(pruning=True, cache=True, sticky=True)
     assert again.check == optimized.check
     assert again_counters == opt_counters
 

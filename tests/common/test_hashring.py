@@ -1,0 +1,138 @@
+"""Properties of the weighted rendezvous hash (repro.common.hashring)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import hashring
+from repro.common.hashring import HashRing
+
+
+NODES = [f"node-{i}" for i in range(8)]
+KEYS = [("table", f"seg-{i:04d}") for i in range(2_000)]
+
+
+def _assignments(nodes, keys=KEYS):
+    counts = {n: 0 for n in nodes}
+    for key in keys:
+        counts[hashring.pick(key, nodes)] += 1
+    return counts
+
+
+class TestBalance:
+    def test_unweighted_balance_within_bound(self):
+        counts = _assignments(NODES)
+        expected = len(KEYS) / len(NODES)
+        for node, count in counts.items():
+            # HRW over blake2b spreads keys near-uniformly; 35% slack
+            # over 2000 keys catches a broken transform without flaking.
+            assert abs(count - expected) <= 0.35 * expected, (node, count)
+
+    def test_weighted_ownership_tracks_weight(self):
+        weights = {"a": 1.0, "b": 1.0, "c": 2.0}
+        ring = HashRing(weights)
+        counts = {n: 0 for n in weights}
+        for key in KEYS:
+            counts[ring.pick(key)] += 1
+        # c has half the total weight: expect ~1000 of 2000 keys.
+        assert 0.4 * len(KEYS) <= counts["c"] <= 0.6 * len(KEYS)
+        assert counts["a"] > 0 and counts["b"] > 0
+
+    def test_zero_weight_owns_nothing(self):
+        ring = HashRing({"a": 1.0, "b": 0.0})
+        assert all(ring.pick(key) == "a" for key in KEYS[:100])
+
+
+class TestMinimalMovement:
+    def test_add_node_moves_only_its_share(self):
+        before = {key: hashring.pick(key, NODES) for key in KEYS}
+        grown = NODES + ["node-8"]
+        moved = sum(
+            1 for key in KEYS if hashring.pick(key, grown) != before[key]
+        )
+        # Adding one node to 8 should claim ~1/9 of the keyspace; every
+        # moved key must have moved *to* the new node, never sideways.
+        assert moved <= 0.2 * len(KEYS)
+        for key in KEYS:
+            after = hashring.pick(key, grown)
+            if after != before[key]:
+                assert after == "node-8"
+
+    def test_remove_node_moves_only_its_keys(self):
+        before = {key: hashring.pick(key, NODES) for key in KEYS}
+        shrunk = [n for n in NODES if n != "node-3"]
+        for key in KEYS:
+            after = hashring.pick(key, shrunk)
+            if before[key] != "node-3":
+                assert after == before[key]
+            else:
+                assert after != "node-3"
+
+    def test_subsets_are_nested_and_stable(self):
+        for key in KEYS[:200]:
+            order = hashring.rank(key, NODES)
+            assert hashring.pick(key, NODES) == order[0]
+            assert hashring.pick_subset(key, NODES, 3) == order[:3]
+            # Nesting: top-2 is a prefix of top-3.
+            assert hashring.pick_subset(key, NODES, 2) == order[:2]
+
+
+class TestBoundedPick:
+    def test_spill_walks_rank_order_deterministically(self):
+        key = ("t", "seg-42")
+        order = hashring.rank(key, NODES)
+        load = {n: 0.0 for n in NODES}
+        load[order[0]] = 5.0  # sticky choice saturated
+        node, spilled = hashring.bounded_pick(key, NODES, load.get, 1.0)
+        assert node == order[1] and spilled
+        # Identical inputs => identical spill target, every time.
+        again, __ = hashring.bounded_pick(key, NODES, load.get, 1.0)
+        assert again == node
+
+    def test_no_spill_under_bound(self):
+        key = ("t", "seg-7")
+        node, spilled = hashring.bounded_pick(
+            key, NODES, lambda n: 0.0, 1.0
+        )
+        assert node == hashring.pick(key, NODES) and not spilled
+
+    def test_all_over_bound_returns_sticky_flagged(self):
+        key = ("t", "seg-9")
+        node, spilled = hashring.bounded_pick(
+            key, NODES, lambda n: 9.0, 1.0
+        )
+        assert node == hashring.pick(key, NODES) and spilled
+
+    def test_empty_nodes_raise(self):
+        with pytest.raises(ValueError):
+            hashring.pick("k", [])
+        with pytest.raises(ValueError):
+            hashring.bounded_pick("k", [], lambda n: 0.0, 1.0)
+
+
+class TestCanonicalKeys:
+    def test_equal_keys_route_identically_across_types(self):
+        # serde.encode_key canonicalizes 5 == 5.0 == True-ish ints; the
+        # ring must agree with the executor's Python ``==`` semantics.
+        assert hashring.pick(5, NODES) == hashring.pick(5.0, NODES)
+        assert hashring.pick(("t", 1), NODES) == hashring.pick(("t", 1.0), NODES)
+
+    def test_unencodable_keys_still_deterministic(self):
+        key = ("t", frozenset({1, 2}))  # not serde-encodable
+        assert hashring.pick(key, NODES) == hashring.pick(key, NODES)
+
+
+class TestHashRingWrapper:
+    def test_membership_ops(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring) == 2 and "a" in ring
+        ring.add("c", weight=2.0)
+        assert ring.weight("c") == 2.0
+        ring.remove("a")
+        assert "a" not in ring and len(ring) == 2
+        assert ring.members == ["b", "c"]
+
+    def test_wrapper_matches_module_functions(self):
+        ring = HashRing(NODES)
+        for key in KEYS[:100]:
+            assert ring.pick(key) == hashring.pick(key, NODES)

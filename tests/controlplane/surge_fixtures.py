@@ -42,3 +42,9 @@ def controlled_rerun(seed: int = SEED):
 @lru_cache(maxsize=None)
 def ablation_run(seed: int = SEED):
     return run_surge(dict(SMALL_PARAMS, control=False), seed)
+
+
+@lru_cache(maxsize=None)
+def scatter_run(seed: int = SEED):
+    """Controlled run with sticky routing + scan sharing ablated."""
+    return run_surge(dict(SMALL_PARAMS, control=True, sticky=False), seed)
