@@ -8,8 +8,11 @@ companion CI uploads next to the raw JSON.  A second table summarizes
 cache effectiveness (broker result cache, scan-share cache, stage
 artifacts, sticky-queue spills) from the current run's counters, so a
 locality regression is visible at a glance even when it stays inside
-the throughput gate's slack.  Rendering is read-only: the regression
-*gate* stays in ``python -m repro.bench --baseline``.
+the throughput gate's slack.  A third table summarizes the join-state
+and feature-store counters (probe fan-out, evictions, idempotent-write
+absorption) for the scenarios that exercise them.  Rendering is
+read-only: the regression *gate* stays in
+``python -m repro.bench --baseline``.
 
 Usage: render_bench_table.py BASELINE CURRENT [OUT.md]
 
@@ -76,6 +79,45 @@ def render_cache_table(current: dict) -> str:
     return "\n".join(lines) + "\n"
 
 
+#: label -> counter.  Join-state pressure and feature-store behaviour for
+#: the interval-join scenarios; rows render only when a counter is live.
+JOIN_COUNTERS = {
+    "join probes": "flink.join_probes",
+    "join rows out": "flink.join_rows_out",
+    "join state appends": "flink.join_state_appends",
+    "join evictions": "flink.join_evictions",
+    "feature writes": "features.writes",
+    "feature dup writes absorbed": "features.duplicate_writes",
+    "feature reads": "features.reads",
+    "feature versions probed": "features.versions_probed",
+}
+
+
+def render_join_table(current: dict) -> str:
+    lines = [
+        "| scenario | counter | count |",
+        "| --- | --- | ---: |",
+    ]
+    rows = 0
+    for name in sorted(current):
+        counters = current[name].get("counters", {})
+        for label, key in JOIN_COUNTERS.items():
+            count = counters.get(key)
+            if not count:
+                continue
+            lines.append(f"| {name} | {label} | {count:,} |")
+            rows += 1
+    if not rows:
+        return ""
+    lines.append("")
+    lines.append(
+        "probes count buffered opposite-side entries scanned per arrival "
+        "(join fan-out); dup writes absorbed counts at-least-once "
+        "deliveries the store deduplicated."
+    )
+    return "\n".join(lines) + "\n"
+
+
 def render(baseline: dict, current: dict) -> str:
     lines = [
         "| scenario | baseline rps | current rps | change |",
@@ -101,6 +143,9 @@ def render(baseline: dict, current: dict) -> str:
     cache_table = render_cache_table(current)
     if cache_table:
         out += "\n## Cache effectiveness (current run)\n\n" + cache_table
+    join_table = render_join_table(current)
+    if join_table:
+        out += "\n## Join state & feature store (current run)\n\n" + join_table
     return out
 
 

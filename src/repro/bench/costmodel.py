@@ -22,7 +22,7 @@ regenerated rather than silently shifting the gate.
 
 from __future__ import annotations
 
-COST_MODEL_VERSION = 5
+COST_MODEL_VERSION = 6
 
 #: Virtual microseconds charged per counted operation.
 COST_US: dict[str, float] = {
@@ -99,6 +99,16 @@ COST_US: dict[str, float] = {
     "flink.channel_pushes": 0.15,
     "flink.space_channel_checks": 0.2,  # backpressure probe per channel
     "flink.vector_batches": 0.6,  # RecordBatch dequeue + dispatch (amortized)
+    # -- flink interval join (keyed join-state hot path) -----------------------
+    "flink.join_probes": 0.2,  # per buffered opposite-side entry scanned
+    "flink.join_rows_out": 1.0,  # joined-pair dict materialization
+    "flink.join_state_appends": 0.6,  # list-state append + heap push
+    "flink.join_evictions": 0.5,  # heap pop + list-state filter share
+    # -- feature store ---------------------------------------------------------
+    "features.writes": 1.0,  # canonical key encode + sorted insert
+    "features.duplicate_writes": 0.6,  # dedup scan of the equal-ts run
+    "features.reads": 0.8,  # key encode + per-read bookkeeping
+    "features.versions_probed": 0.3,  # bisect step share (log2 of history)
 }
 
 #: Counters not in the table still cost something.

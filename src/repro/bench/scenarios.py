@@ -1,6 +1,6 @@
 """Parameterized hot-path workloads for the perf harness.
 
-Seven scenarios, one per hot layer of the stack:
+Eight scenarios, one per hot layer of the stack:
 
 * ``kafka_produce_fetch`` — batched, keyed produce with ``acks=all``
   (replica bookkeeping on the append path) followed by paged fetches of
@@ -8,6 +8,10 @@ Seven scenarios, one per hot layer of the stack:
 * ``flink_window`` — a keyed tumbling-window aggregation over a bounded
   source, driven to quiescence: the stream-runtime hot path (channel
   routing, backpressure probes, element dispatch), isolated from Kafka.
+* ``stream_join`` — an interval join of out-of-order prediction and
+  outcome streams (high key cardinality, duplicate deliveries) feeding a
+  point-in-time feature store: the join-state and feature-platform hot
+  path, with a crash-restore variant gated on byte-identical digests.
 * ``pinot_ingest_query`` — Kafka → realtime consuming segments → sealed
   columnar segments, then a mixed query workload (inverted-index filter,
   group-by aggregation, selection scan) through the broker: the OLAP
@@ -170,6 +174,177 @@ def flink_window(params: dict, seed: int, probe) -> Outcome:
             break
     sums = sorted((r.key, r.window.start, r.value) for r in out)
     return Outcome(records=n, sim_s=clock.now(), check=_digest(sums))
+
+
+def stream_join(params: dict, seed: int, probe) -> Outcome:
+    """Interval-joined prediction/outcome streams feeding a feature store.
+
+    High key cardinality (``keys`` join keys over ``records`` lefts, so
+    keys repeat — many-to-many pairs), seeded out-of-orderness
+    (``ooo_s`` arrival jitter against event time) and seeded duplicate
+    deliveries (``dup_rate`` of lefts arrive twice, exercising the
+    store's idempotent writes and the join's duplicate pairs).  The left
+    path logs per-prediction and per-model features *before* the join;
+    the joined stream is enriched with a point-in-time read at the
+    outcome's event time.  After quiescence a seeded batch of per-model
+    point-in-time reads runs against the out-of-order version history.
+
+    ``crash_restore=True`` switches the sink to 2PC-transactional and
+    performs a seeded mid-run checkpoint + crash-restore; the outcome
+    digest must be byte-identical to the plain run — that equality is
+    the determinism gate in ``scripts/check_join_determinism.py``.
+    """
+    from repro.features import FeatureStore
+    from repro.flink.graph import StreamEnvironment
+    from repro.flink.operators import BoundedListSource
+    from repro.flink.runtime import JobRuntime
+    from repro.storage.blobstore import BlobStore
+
+    n = params["records"]
+    models = params["models"]
+    delay_max = params["delay_max_s"]
+    ooo_s = params["ooo_s"]
+    dt = 0.05
+    rng = seeded_rng(seed, "bench.stream_join")
+    lefts: list[tuple[dict, float, float]] = []  # (row, event_ts, arrival)
+    rights: list[tuple[dict, float, float]] = []
+    for i in range(n):
+        ts = i * dt
+        row = {
+            "id": f"k{rng.randrange(params['keys'])}",
+            "seq": i,
+            "model": f"m{i % models}",
+            "val": rng.randrange(1000) / 1000.0,
+            "ts": ts,
+        }
+        lefts.append((row, ts, ts + rng.uniform(0.0, ooo_s)))
+        if rng.random() < params["dup_rate"]:
+            # At-least-once upstream: the same prediction delivered twice.
+            lefts.append((row, ts, ts + rng.uniform(0.0, ooo_s)))
+        if rng.random() >= params["loss_rate"]:
+            rts = ts + rng.uniform(1.0, delay_max)
+            rights.append(
+                (
+                    {
+                        "id": row["id"],
+                        "seq": i,
+                        "obs": rng.randrange(1000) / 1000.0,
+                        "ts": rts,
+                    },
+                    rts,
+                    rts + rng.uniform(0.0, ooo_s),
+                )
+            )
+    lefts.sort(key=lambda e: (e[2], e[0]["seq"]))
+    rights.sort(key=lambda e: (e[2], e[0]["seq"]))
+
+    clock = SimulatedClock()
+    store = FeatureStore("bench-features")
+    env = StreamEnvironment()
+    out: list = []
+
+    def log_features(p: dict) -> dict:
+        # Per-prediction request-time features (unique key: idempotent
+        # under duplicate delivery) plus a high-cardinality per-model
+        # series whose versions arrive out of event-time order.
+        store.write_row(("pred", p["seq"]), {"val": p["val"]}, p["ts"])
+        store.write(("model", p["model"]), "last_val", p["val"], p["ts"])
+        return p
+
+    def enrich(row: dict) -> dict:
+        val = store.get_feature(("pred", row["ls"]), "val", row["rts"], -1.0)
+        return {
+            "id": row["id"],
+            "ls": row["ls"],
+            "rs": row["rs"],
+            "err": abs(val - row["obs"]),
+        }
+
+    left = env.add_source(
+        BoundedListSource(
+            [(row, ts) for row, ts, __ in lefts],
+            max_out_of_orderness=ooo_s,
+            batch_size=200,
+        ),
+        name="predictions",
+        parallelism=params["parallelism"],
+    ).map(log_features, name="feature-log")
+    right = env.add_source(
+        BoundedListSource(
+            [(row, ts) for row, ts, __ in rights],
+            max_out_of_orderness=ooo_s,
+            batch_size=200,
+        ),
+        name="outcomes",
+        parallelism=params["parallelism"],
+    )
+    crash = params.get("crash_restore", False)
+    left.interval_join(
+        right,
+        key_fns=(lambda p: p["id"], lambda o: o["id"]),
+        lower=-delay_max,
+        upper=0.0,
+        join_fn=lambda p, o: {
+            "id": p["id"],
+            "ls": p["seq"],
+            "rs": o["seq"],
+            "obs": o["obs"],
+            "rts": o["ts"],
+        },
+        allowed_lateness=params["lateness_s"],
+        state_ttl=params["ttl_s"],
+        spill_budget_bytes=params.get("spill_budget_bytes"),
+        parallelism=params["parallelism"],
+        name="ij",
+    ).map(enrich, name="feature-enrich").sink_to_list(out, transactional=crash)
+
+    runtime = JobRuntime(
+        env.build("bench-stream-join"),
+        blob_store=BlobStore(clock=clock),
+        clock=clock,
+    )
+    rounds = 0
+    restored = False
+    while True:
+        with probe.op():
+            processed = runtime.run_rounds(1, budget_per_task=500)
+        rounds += 1
+        if crash:
+            if rounds == params.get("checkpoint_round", 3):
+                runtime.trigger_checkpoint()
+            crash_now = rounds == params.get("crash_round", 6)
+            if crash_now and runtime.completed_checkpoints():
+                runtime.restore_from(runtime.completed_checkpoints()[-1])
+                restored = True
+                continue
+        if processed == 0:
+            break
+    if crash:
+        runtime.trigger_checkpoint()  # commit the final 2PC epoch
+        assert restored, "crash_restore run never restored a checkpoint"
+
+    join_ops = [task.operator for task in runtime.tasks["ij"]]
+    late_dropped = sum(op.late_dropped for op in join_ops)
+    evicted = sum(op.evicted for op in join_ops)
+    # Offline half of the determinism gate: seeded per-model point-in-time
+    # reads over the out-of-order version history.
+    read_rng = seeded_rng(seed, "bench.stream_join.reads")
+    with probe.op():
+        read_digest = store.read_digest(
+            (
+                ("model", f"m{read_rng.randrange(models)}"),
+                read_rng.uniform(0.0, n * dt),
+            )
+            for __ in range(params["reads"])
+        )
+    joined = sorted(out, key=lambda r: (r["id"], r["ls"], r["rs"]))
+    return Outcome(
+        records=n,
+        sim_s=clock.now(),
+        check=_digest(
+            [joined, read_digest, late_dropped, evicted, store.version_count()]
+        ),
+    )
 
 
 # -- pinot ---------------------------------------------------------------------
@@ -661,6 +836,43 @@ SCENARIOS: tuple[ScenarioSpec, ...] = (
             "window_s": 5.0,
             "parallelism": 2,
             "columnar": True,
+        },
+    ),
+    ScenarioSpec(
+        name="stream_join",
+        fn=stream_join,
+        # models, the keys:records and reads:records ratios and the
+        # delay/ooo/lateness/ttl horizons are fixed across modes, so
+        # per-record join-state and feature-store cost — and therefore
+        # rps — is mode-invariant for the quick-vs-full gate.
+        # crash_restore stays off in the registered config;
+        # scripts/check_join_determinism.py runs the crash variant and
+        # asserts digest equality against this one.
+        full_params={
+            "records": 8_000,
+            "keys": 1_024,
+            "models": 16,
+            "delay_max_s": 8.0,
+            "ooo_s": 2.0,
+            "lateness_s": 1.0,
+            "ttl_s": 8.0,
+            "dup_rate": 0.05,
+            "loss_rate": 0.05,
+            "reads": 800,
+            "parallelism": 2,
+        },
+        quick_params={
+            "records": 2_000,
+            "keys": 256,
+            "models": 16,
+            "delay_max_s": 8.0,
+            "ooo_s": 2.0,
+            "lateness_s": 1.0,
+            "ttl_s": 8.0,
+            "dup_rate": 0.05,
+            "loss_rate": 0.05,
+            "reads": 200,
+            "parallelism": 2,
         },
     ),
     ScenarioSpec(

@@ -81,6 +81,9 @@ class _FlinkJob:
     apply: Callable[[int], None]
     input_rate: Callable[[], float] | None = None
     capacity_per_subtask: float = 5000.0
+    # Interval-join buffered state vs its spill budget (>= 1.0 means the
+    # join would spill); see JobRuntime.join_spill_pressure.
+    spill_pressure: Callable[[], float] | None = None
 
 
 class CrossLayerController:
@@ -117,12 +120,13 @@ class CrossLayerController:
         apply: Callable[[int], None],
         input_rate: Callable[[], float] | None = None,
         capacity_per_subtask: float = 5000.0,
+        spill_pressure: Callable[[], float] | None = None,
     ) -> None:
         """Scale a Flink job through the (per-job-keyed) AutoScaler."""
         self._flink_jobs.append(
             _FlinkJob(
                 job_id, lag, state_bytes, current, apply,
-                input_rate, capacity_per_subtask,
+                input_rate, capacity_per_subtask, spill_pressure,
             )
         )
         self._flink_state[job_id] = _PolicyState()
@@ -207,6 +211,7 @@ class CrossLayerController:
                 input_rate=job.input_rate() if job.input_rate else 0.0,
                 capacity_per_subtask=job.capacity_per_subtask,
                 job_id=job.job_id,
+                spill_pressure=(job.spill_pressure() if job.spill_pressure else 0.0),
             )
             return 0
         units = job.current()
@@ -217,6 +222,7 @@ class CrossLayerController:
             input_rate=job.input_rate() if job.input_rate else 0.0,
             capacity_per_subtask=job.capacity_per_subtask,
             job_id=job.job_id,
+            spill_pressure=job.spill_pressure() if job.spill_pressure else 0.0,
         )
         if decision.action == "hold" or decision.new_parallelism == units:
             return 0

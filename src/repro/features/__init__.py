@@ -1,0 +1,13 @@
+"""Feature platform: versioned feature writes with point-in-time reads.
+
+Flink jobs write event-time-stamped feature values through a
+:class:`FeatureSink`; online and offline consumers read them back with
+``get_features(key, as_of)``, which never returns a value written for an
+event time later than ``as_of``.  Consistency between the online store
+and an offline recomputation is reconciled by lineage digest through the
+:mod:`repro.audit` machinery.
+"""
+
+from repro.features.store import FeatureSink, FeatureStore, FeatureWrite
+
+__all__ = ["FeatureSink", "FeatureStore", "FeatureWrite"]

@@ -28,8 +28,10 @@ from repro.flink.jobserver import (
 from repro.flink.operators import (
     BoundedListSource,
     CollectSink,
+    IntervalJoinOperator,
     KafkaSink,
     KafkaSource,
+    WindowJoinOperator,
 )
 from repro.flink.runtime import JobRuntime
 from repro.flink.state import KeyedStateBackend
@@ -73,8 +75,10 @@ __all__ = [
     "ManagedJob",
     "BoundedListSource",
     "CollectSink",
+    "IntervalJoinOperator",
     "KafkaSink",
     "KafkaSource",
+    "WindowJoinOperator",
     "JobRuntime",
     "KeyedStateBackend",
     "BoundedOutOfOrdernessWatermarks",

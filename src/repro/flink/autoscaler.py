@@ -41,7 +41,7 @@ class ResourceEstimate:
 def classify_job(graph: JobGraph) -> JobProfile:
     """Classify a job graph by its most demanding operator."""
     kinds = {op.kind for op in graph.operators.values()}
-    if "join" in kinds:
+    if "join" in kinds or "interval_join" in kinds:
         return JobProfile.JOIN_MEMORY_BOUND
     if "window" in kinds:
         return JobProfile.WINDOWED_MIXED
@@ -120,6 +120,7 @@ class AutoScaler:
         input_rate: float = 0.0,
         capacity_per_subtask: float = 5000.0,
         job_id: str = "default",
+        spill_pressure: float = 0.0,
     ) -> ScalingDecision:
         last_lag = self._last_lag.get(job_id)
         lag_growing = last_lag is None or source_lag > last_lag
@@ -127,6 +128,19 @@ class AutoScaler:
         capacity = parallelism * capacity_per_subtask
         utilization = input_rate / capacity if capacity else 1.0
 
+        # Join-state spill pressure outranks every other signal: a
+        # memory-bound stream-stream join (Section 4.2.1) degrades the
+        # moment its buffers spill, long before lag or utilization move.
+        # Re-keying over twice the subtasks halves per-subtask state.
+        if spill_pressure >= 1.0:
+            new = min(self.max_parallelism, parallelism * 2)
+            if new > parallelism:
+                return ScalingDecision(
+                    "scale_up",
+                    f"join-state spill pressure {spill_pressure:.2f} at/over "
+                    "budget (memory-bound join)",
+                    new,
+                )
         if state_bytes > self.memory_budget_bytes:
             new = min(self.max_parallelism, parallelism * 2)
             if new > parallelism:

@@ -34,7 +34,9 @@ class OperatorSpec:
     """One node of the job graph."""
 
     op_id: str
-    kind: str  # source | map | filter | flat_map | window | join | sink | process
+    # source | map | filter | flat_map | window | join | interval_join |
+    # sink | process
+    kind: str
     parallelism: int = 1
     # operator payloads (exactly the ones the kind uses):
     fn: Callable | None = None
@@ -52,6 +54,14 @@ class OperatorSpec:
     sink: Any = None  # SinkFunction for kind == 'sink'
     join_key_fns: tuple[Callable, Callable] | None = None
     join_fn: Callable | None = None
+    # Interval joins (kind == 'interval_join'): pair (left, right) iff
+    # ``left.ts - right.ts ∈ [join_lower, join_upper]``.  state_ttl
+    # extends buffered-entry retention past the join horizon;
+    # spill_budget_bytes arms the operator's spill-pressure signal.
+    join_lower: float | None = None
+    join_upper: float | None = None
+    state_ttl: float | None = None
+    spill_budget_bytes: int | None = None
     # Exactly-once sinks (kind == 'sink' only): writes are buffered per
     # checkpoint epoch and two-phase committed on checkpoint completion
     # instead of written eagerly.  Without checkpoints nothing commits, so
@@ -144,6 +154,20 @@ def validate_graph(graph: JobGraph) -> None:
             raise JobValidationError(f"window operator {op.op_id} incomplete")
         if op.kind == "join" and (op.join_key_fns is None or op.join_fn is None):
             raise JobValidationError(f"join operator {op.op_id} incomplete")
+        if op.kind == "interval_join":
+            if op.join_key_fns is None or op.join_fn is None:
+                raise JobValidationError(
+                    f"interval join operator {op.op_id} incomplete"
+                )
+            if op.join_lower is None or op.join_upper is None:
+                raise JobValidationError(
+                    f"interval join operator {op.op_id} is missing its bounds"
+                )
+            if op.join_lower > op.join_upper:
+                raise JobValidationError(
+                    f"interval join operator {op.op_id} has inverted bounds "
+                    f"[{op.join_lower}, {op.join_upper}]"
+                )
         if op.parallelism < 1:
             raise JobValidationError(
                 f"operator {op.op_id} has parallelism {op.parallelism}"
@@ -266,11 +290,14 @@ class DataStream:
         key_fns: tuple[Callable, Callable],
         assigner: WindowAssigner,
         join_fn: Callable,
+        allowed_lateness: float = 0.0,
         parallelism: int = 1,
         name: str | None = None,
     ) -> "DataStream":
         """Window join: pairs elements of both inputs sharing a key within
-        the same window (the prediction-monitoring join of Section 5.3)."""
+        the same window (the prediction-monitoring join of Section 5.3).
+        ``allowed_lateness`` follows WindowOperator semantics: a window
+        admits late records until ``end + lateness <= watermark``."""
         spec = OperatorSpec(
             name or self.env._new_id("join"),
             "join",
@@ -278,6 +305,43 @@ class DataStream:
             assigner=assigner,
             join_key_fns=key_fns,
             join_fn=join_fn,
+            allowed_lateness=allowed_lateness,
+        )
+        self.env._add(spec)
+        self.env._edges.append(Edge(self.op_id, spec.op_id, "hash", input_index=0))
+        self.env._edges.append(Edge(other.op_id, spec.op_id, "hash", input_index=1))
+        return DataStream(self.env, spec.op_id)
+
+    def interval_join(
+        self,
+        other: "DataStream",
+        key_fns: tuple[Callable, Callable],
+        lower: float,
+        upper: float,
+        join_fn: Callable,
+        allowed_lateness: float = 0.0,
+        state_ttl: float | None = None,
+        spill_budget_bytes: int | None = None,
+        parallelism: int = 1,
+        name: str | None = None,
+    ) -> "DataStream":
+        """Interval join: pairs ``(left, right)`` sharing a key with
+        ``left.ts ∈ [right.ts + lower, right.ts + upper]`` — no window
+        boundary, so a prediction at 11:59 still joins its outcome at
+        12:04.  ``self`` is the left input, ``other`` the right.  Join
+        state is TTL'd and evicted by watermark (see
+        :class:`~repro.flink.operators.IntervalJoinOperator`)."""
+        spec = OperatorSpec(
+            name or self.env._new_id("interval_join"),
+            "interval_join",
+            parallelism=parallelism,
+            join_key_fns=key_fns,
+            join_fn=join_fn,
+            join_lower=lower,
+            join_upper=upper,
+            allowed_lateness=allowed_lateness,
+            state_ttl=state_ttl,
+            spill_budget_bytes=spill_budget_bytes,
         )
         self.env._add(spec)
         self.env._edges.append(Edge(self.op_id, spec.op_id, "hash", input_index=0))

@@ -209,6 +209,7 @@ class JobServer:
                 continue
             out[job.job_id] = {
                 "state_bytes": float(job.runtime.total_state_bytes()),
+                "join_spill_pressure": job.runtime.join_spill_pressure(),
                 "buffered_elements": float(job.runtime.total_buffered_elements()),
                 "source_lag": float(job.runtime.total_source_lag()),
                 "running": 1.0 if job.state is JobState.RUNNING else 0.0,

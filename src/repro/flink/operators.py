@@ -14,6 +14,7 @@ checkpointable and measurable.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.common import serde
@@ -21,7 +22,7 @@ from repro.common.errors import OperatorError
 from repro.common.perf import PERF
 from repro.common.records import Record
 from repro.columnar import ColumnBatch, ColumnVector
-from repro.flink.state import KeyedStateBackend
+from repro.flink.state import KeyedStateBackend, _key_from_wire, _key_to_wire
 from repro.flink.time import (
     BoundedOutOfOrdernessWatermarks,
     RecordBatch,
@@ -347,22 +348,46 @@ class WindowOperator(Operator):
         self.state.restore(payload["state"])
 
 
+def _traces_to_wire(traces: dict[Any, Any]) -> list:
+    """Serialize a state-key -> TraceContext map for a checkpoint."""
+    return [
+        [_key_to_wire(state_key), trace.to_headers()]
+        for state_key, trace in traces.items()
+        if trace is not None
+    ]
+
+
+def _traces_from_wire(entries: list) -> dict[Any, Any]:
+    return {
+        _key_from_wire(state_key): TraceContext.from_headers(headers)
+        for state_key, headers in entries
+    }
+
+
 class WindowJoinOperator(Operator):
     """Two-input window join: emits ``join_fn(left, right)`` for every pair
     sharing a key inside the same window (Section 5.3's prediction-to-
     outcome join).  Buffers both sides until the window closes — which is
     why the paper calls stream-stream joins "almost always memory bound"
     (Section 4.2.1); the autoscaler uses the same signal.
+
+    Late elements follow :class:`WindowOperator` semantics exactly: a
+    record is admitted while ``window.end + allowed_lateness >
+    current_watermark`` and a window fires (and is evicted) only once
+    ``end + allowed_lateness <= watermark``, so an admitted late record
+    always lands in a window that still has a pending fire.
     """
 
     def __init__(
         self,
         assigner: WindowAssigner,
         join_fn: Callable[[Any, Any], Any],
+        allowed_lateness: float = 0.0,
     ) -> None:
         super().__init__()
         self.assigner = assigner
         self.join_fn = join_fn
+        self.allowed_lateness = allowed_lateness
         self.current_watermark = float("-inf")
         self.late_dropped = 0
         self._traces: dict[Any, Any] = {}
@@ -371,7 +396,7 @@ class WindowJoinOperator(Operator):
         side = "left" if input_index == 0 else "right"
         out = []
         for window in self.assigner.assign(record.timestamp):
-            if window.end <= self.current_watermark:
+            if window.end + self.allowed_lateness <= self.current_watermark:
                 self.late_dropped += 1
                 continue
             state_key = (record.key, window.start, window.end)
@@ -386,11 +411,11 @@ class WindowJoinOperator(Operator):
         closed: set = set()
         for state_key in self.state.keys("left"):
             __, __, end = state_key
-            if end <= self.current_watermark:
+            if end + self.allowed_lateness <= self.current_watermark:
                 closed.add(state_key)
         for state_key in self.state.keys("right"):
             __, __, end = state_key
-            if end <= self.current_watermark:
+            if end + self.allowed_lateness <= self.current_watermark:
                 closed.add(state_key)
         for state_key in sorted(closed, key=lambda k: (k[2], str(k[0]))):
             key, start, end = state_key
@@ -405,6 +430,219 @@ class WindowJoinOperator(Operator):
             self.state.remove("left", state_key)
             self.state.remove("right", state_key)
         return fired
+
+    def snapshot(self) -> bytes:
+        # Unlike WindowOperator, the join buffers raw records, so the
+        # representative trace per open window is part of what a restore
+        # must reconstruct — without it, every pair fired after recovery
+        # loses its end-to-end trace attribution.
+        meta = {
+            "watermark": self.current_watermark
+            if self.current_watermark != float("-inf")
+            else None,
+            "late_dropped": self.late_dropped,
+            "traces": _traces_to_wire(self._traces),
+        }
+        return serde.encode({"meta": meta, "state": self.state.snapshot()})
+
+    def restore(self, data: bytes) -> None:
+        payload = serde.decode(data)
+        meta = payload["meta"]
+        self.current_watermark = (
+            float("-inf") if meta["watermark"] is None else meta["watermark"]
+        )
+        self.late_dropped = meta["late_dropped"]
+        self._traces = _traces_from_wire(meta["traces"])
+        self.state.restore(payload["state"])
+
+
+class IntervalJoinOperator(Operator):
+    """Per-key time-bounded join: emits ``join_fn(left, right)`` for every
+    pair sharing a key with ``left.ts ∈ [right.ts + lower, right.ts +
+    upper]`` (equivalently ``left.ts - right.ts ∈ [lower, upper]``).
+
+    Unlike the window join there is no window boundary to straddle: a
+    prediction made at 11:59 still joins its outcome at 12:04.  Pairs are
+    emitted eagerly when the second side arrives, stamped at ``max(left.ts,
+    right.ts)`` — the event time at which the pair became complete.
+
+    **State + eviction.**  Both sides buffer ``[ts, seq, value]`` entries
+    in keyed list state.  A buffered record's *join horizon* is the latest
+    event time of any pair it can still complete: ``ts + max(0, -lower)``
+    for a left, ``ts + max(0, upper)`` for a right.  An entry is evicted
+    once the watermark passes ``max(horizon + allowed_lateness, ts +
+    state_ttl)`` — the TTL can only *extend* retention past the join
+    horizon (for late observers and state reads), never truncate it, so
+    TTL eviction can never drop a still-joinable record.  Eviction is
+    driven by a min-heap over per-entry deadlines that is rebuilt from
+    state on restore (the deadlines are pure functions of the entries).
+
+    **Lateness.**  Admission mirrors :class:`WindowOperator` with the
+    join horizon standing in for the window end: a record is admitted
+    while ``horizon + allowed_lateness > current_watermark``, otherwise
+    it is dropped and counted in ``late_dropped``.
+
+    **Spill pressure.**  The buffered state is the memory-bound signal of
+    Section 4.2.1; ``spill_pressure()`` reports buffered bytes against
+    ``spill_budget_bytes`` so the AutoScaler can react before the state
+    actually spills.
+    """
+
+    def __init__(
+        self,
+        lower: float,
+        upper: float,
+        join_fn: Callable[[Any, Any], Any],
+        allowed_lateness: float = 0.0,
+        state_ttl: float | None = None,
+        spill_budget_bytes: int | None = None,
+    ) -> None:
+        super().__init__()
+        if lower > upper:
+            raise OperatorError(
+                f"interval join bounds inverted: lower {lower} > upper {upper}"
+            )
+        self.lower = lower
+        self.upper = upper
+        self.join_fn = join_fn
+        self.allowed_lateness = allowed_lateness
+        self.state_ttl = state_ttl
+        self.spill_budget_bytes = spill_budget_bytes
+        self.current_watermark = float("-inf")
+        self.late_dropped = 0
+        self.evicted = 0
+        self._seq = 0
+        self._traces: dict[Any, Any] = {}
+        # (deadline, seq, side, key) — seq breaks ties so keys are never
+        # compared (they may be mixed types).
+        self._evictions: list[tuple[float, int, str, Any]] = []
+
+    # -- time bounds ---------------------------------------------------------
+
+    def _horizon(self, side: str, timestamp: float) -> float:
+        if side == "left":
+            return timestamp + max(0.0, -self.lower)
+        return timestamp + max(0.0, self.upper)
+
+    def _deadline(self, side: str, timestamp: float) -> float:
+        deadline = self._horizon(side, timestamp) + self.allowed_lateness
+        if self.state_ttl is not None:
+            deadline = max(deadline, timestamp + self.state_ttl)
+        return deadline
+
+    def _matches(self, side: str, timestamp: float, other_ts: float) -> bool:
+        delta = timestamp - other_ts if side == "left" else other_ts - timestamp
+        return self.lower <= delta <= self.upper
+
+    # -- dataflow ------------------------------------------------------------
+
+    def process(self, record: StreamRecord, input_index: int = 0) -> list[Any]:
+        side = "left" if input_index == 0 else "right"
+        other = "right" if side == "left" else "left"
+        timestamp = record.timestamp
+        if self._horizon(side, timestamp) + self.allowed_lateness <= (
+            self.current_watermark
+        ):
+            self.late_dropped += 1
+            return []
+        key = record.key
+        if record.trace is not None:
+            self._traces[key] = record.trace
+        out: list[StreamRecord] = []
+        buffered = self.state.get_list(other, key)
+        if PERF.enabled and buffered:
+            PERF.inc("flink.join_probes", len(buffered))
+        for other_ts, _seq, other_value in buffered:
+            if self._matches(side, timestamp, other_ts):
+                left, right = (
+                    (record.value, other_value)
+                    if side == "left"
+                    else (other_value, record.value)
+                )
+                out.append(
+                    StreamRecord(
+                        self.join_fn(left, right),
+                        max(timestamp, other_ts),
+                        key,
+                        record.trace or self._traces.get(key),
+                    )
+                )
+        if PERF.enabled:
+            PERF.inc("flink.join_state_appends")
+            if out:
+                PERF.inc("flink.join_rows_out", len(out))
+        seq = self._seq
+        self._seq += 1
+        self.state.append(side, key, [timestamp, seq, record.value])
+        heappush(self._evictions, (self._deadline(side, timestamp), seq, side, key))
+        return out
+
+    def on_watermark(self, watermark: Watermark) -> list[Any]:
+        self.current_watermark = max(self.current_watermark, watermark.timestamp)
+        evictions = self._evictions
+        while evictions and evictions[0][0] <= self.current_watermark:
+            __, seq, side, key = heappop(evictions)
+            entries = self.state.get_list(side, key)
+            remaining = [e for e in entries if e[1] != seq]
+            if len(remaining) == len(entries):
+                continue  # already gone (stale heap entry after restore)
+            self.evicted += 1
+            if PERF.enabled:
+                PERF.inc("flink.join_evictions")
+            if remaining:
+                self.state.put(side, key, remaining)
+            else:
+                self.state.remove(side, key)
+                if not self.state.get_list("right" if side == "left" else "left", key):
+                    self._traces.pop(key, None)
+        return []
+
+    # -- memory-pressure signal ----------------------------------------------
+
+    def spill_pressure(self) -> float:
+        """Buffered join state as a fraction of the spill budget.
+
+        >= 1.0 means the operator would have to spill; the AutoScaler
+        treats that as an immediate scale-up signal.
+        """
+        if not self.spill_budget_bytes:
+            return 0.0
+        return self.state.size_bytes() / self.spill_budget_bytes
+
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        meta = {
+            "watermark": self.current_watermark
+            if self.current_watermark != float("-inf")
+            else None,
+            "late_dropped": self.late_dropped,
+            "evicted": self.evicted,
+            "seq": self._seq,
+            "traces": _traces_to_wire(self._traces),
+        }
+        return serde.encode({"meta": meta, "state": self.state.snapshot()})
+
+    def restore(self, data: bytes) -> None:
+        payload = serde.decode(data)
+        meta = payload["meta"]
+        self.current_watermark = (
+            float("-inf") if meta["watermark"] is None else meta["watermark"]
+        )
+        self.late_dropped = meta["late_dropped"]
+        self.evicted = meta["evicted"]
+        self._seq = meta["seq"]
+        self._traces = _traces_from_wire(meta["traces"])
+        self.state.restore(payload["state"])
+        # The eviction heap is derived state: every deadline is a pure
+        # function of (side, ts), so rebuild it from the buffers.
+        self._evictions = []
+        for side in ("left", "right"):
+            for key in self.state.keys(side):
+                for ts, seq, __ in self.state.get_list(side, key):
+                    heappush(
+                        self._evictions, (self._deadline(side, ts), seq, side, key)
+                    )
 
 
 # --- sources ----------------------------------------------------------------
@@ -585,6 +823,17 @@ class BoundedListReader:
 
     def restore(self, data: dict[str, Any]) -> None:
         self.position = data["position"]
+        # Same rule as KafkaSourceReader.restore: watermark state is
+        # derived from the records read, so rewinding the position must
+        # reset it — otherwise replayed records are judged against the
+        # pre-crash high-water mark (different admission decisions than
+        # the original run) and the final +inf watermark is never
+        # re-sent, stranding every open window.
+        self.watermarks = BoundedOutOfOrdernessWatermarks(
+            self.source.max_out_of_orderness
+        )
+        self._emitted_watermark = float("-inf")
+        self._final_sent = False
 
 
 class BoundedColumnarSource:
@@ -671,6 +920,13 @@ class BoundedColumnarReader:
 
     def restore(self, data: dict[str, Any]) -> None:
         self.position = data["position"]
+        # See BoundedListReader.restore: derived watermark state resets
+        # with the position.
+        self.watermarks = BoundedOutOfOrdernessWatermarks(
+            self.source.max_out_of_orderness
+        )
+        self._emitted_watermark = float("-inf")
+        self._final_sent = False
 
 
 # --- sinks ------------------------------------------------------------------
@@ -779,5 +1035,16 @@ def build_operator(spec) -> Operator:
             key_column=spec.key_column,
         )
     if spec.kind == "join":
-        return WindowJoinOperator(spec.assigner, spec.join_fn)
+        return WindowJoinOperator(
+            spec.assigner, spec.join_fn, allowed_lateness=spec.allowed_lateness
+        )
+    if spec.kind == "interval_join":
+        return IntervalJoinOperator(
+            spec.join_lower,
+            spec.join_upper,
+            spec.join_fn,
+            allowed_lateness=spec.allowed_lateness,
+            state_ttl=spec.state_ttl,
+            spill_budget_bytes=spec.spill_budget_bytes,
+        )
     raise OperatorError(f"no runtime operator for kind {spec.kind!r}")

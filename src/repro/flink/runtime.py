@@ -216,7 +216,10 @@ class SubTask:
 
     @staticmethod
     def _dst_key_fn(dst_spec: OperatorSpec, edge: Edge):
-        if dst_spec.kind == "join" and dst_spec.join_key_fns is not None:
+        if (
+            dst_spec.kind in ("join", "interval_join")
+            and dst_spec.join_key_fns is not None
+        ):
             return dst_spec.join_key_fns[edge.input_index]
         return dst_spec.key_fn
 
@@ -224,7 +227,7 @@ class SubTask:
     def _dst_key_column(dst_spec: OperatorSpec, edge: Edge) -> str | None:
         """Key column for columnar hash routing; ``None`` forces the
         row-adapting fallback (joins key through opaque callables)."""
-        if dst_spec.kind == "join":
+        if dst_spec.kind in ("join", "interval_join"):
             return None
         return dst_spec.key_column
 
@@ -962,6 +965,21 @@ class JobRuntime:
             for tasks in self.tasks.values()
             for task in tasks
         )
+
+    def join_spill_pressure(self) -> float:
+        """Worst spill pressure across the job's interval-join subtasks.
+
+        0.0 when the job has no budgeted join state; >= 1.0 means some
+        join subtask's buffered state would spill — the AutoScaler scales
+        up on that signal before lag or utilization ever move.
+        """
+        pressure = 0.0
+        for tasks in self.tasks.values():
+            for task in tasks:
+                gauge = getattr(task.operator, "spill_pressure", None)
+                if gauge is not None:
+                    pressure = max(pressure, gauge())
+        return pressure
 
     def total_buffered_elements(self) -> int:
         return sum(

@@ -1,0 +1,193 @@
+"""Feature store: point-in-time reads, idempotent writes, consistency.
+
+The two properties the prediction use case and the bench determinism
+gate lean on: ``get_features(key, as_of)`` never reads a value written
+for a later event time (label-leakage protection), and a write identical
+in ``(key, feature, event_time, value)`` to a stored one is absorbed
+without a new version (at-least-once sink replay after crash-restore is
+invisible to readers).  Plus the audit surface: online/offline
+reconciliation by lineage digest, and the deterministic read digest.
+"""
+
+from repro.features import FeatureSink, FeatureStore
+from repro.flink.time import StreamRecord
+
+
+class TestPointInTimeReads:
+    def test_latest_value_at_or_before_as_of(self):
+        store = FeatureStore()
+        store.write("u1", "score", 0.1, 10.0)
+        store.write("u1", "score", 0.2, 20.0)
+        store.write("u1", "score", 0.3, 30.0)
+        assert store.get_feature("u1", "score", 25.0) == 0.2
+        assert store.get_feature("u1", "score", 20.0) == 0.2  # inclusive
+        assert store.get_feature("u1", "score", 35.0) == 0.3
+
+    def test_never_reads_the_future(self):
+        store = FeatureStore()
+        store.write("u1", "score", 0.9, 50.0)
+        assert store.get_features("u1", as_of=49.9) == {}
+        assert store.get_feature("u1", "score", 10.0, default=-1) == -1
+
+    def test_out_of_order_writes_read_in_event_time_order(self):
+        store = FeatureStore()
+        store.write("u1", "score", 0.3, 30.0)
+        store.write("u1", "score", 0.1, 10.0)  # arrives late
+        store.write("u1", "score", 0.2, 20.0)
+        assert store.get_feature("u1", "score", 15.0) == 0.1
+        assert store.get_feature("u1", "score", 25.0) == 0.2
+        assert store.get_feature("u1", "score", 45.0) == 0.3
+
+    def test_same_event_time_latest_version_wins(self):
+        store = FeatureStore()
+        store.write("u1", "score", 0.1, 10.0)
+        store.write("u1", "score", 0.2, 10.0)  # correction, same event time
+        assert store.get_feature("u1", "score", 10.0) == 0.2
+        assert store.version_count() == 2
+
+    def test_multi_feature_rows_and_selection(self):
+        store = FeatureStore()
+        store.write_row("u1", {"a": 1, "b": 2}, 10.0)
+        assert store.get_features("u1", 10.0) == {"a": 1, "b": 2}
+        assert store.get_features("u1", 10.0, features=("a",)) == {"a": 1}
+
+    def test_tuple_keys(self):
+        store = FeatureStore()
+        store.write(("model", "m1"), "w", 0.5, 1.0)
+        assert store.get_feature(("model", "m1"), "w", 1.0) == 0.5
+        assert store.get_features(("model", "m2"), 1.0) == {}
+
+
+class TestIdempotentWrites:
+    def test_exact_duplicate_absorbed(self):
+        store = FeatureStore()
+        v1 = store.write("u1", "score", 0.1, 10.0)
+        v2 = store.write("u1", "score", 0.1, 10.0)  # sink replay
+        assert v1 == v2
+        assert store.version_count() == 1
+        assert store.duplicate_writes == 1
+
+    def test_duplicate_detected_through_interleaved_corrections(self):
+        store = FeatureStore()
+        store.write("u1", "score", 0.1, 10.0)
+        store.write("u1", "score", 0.2, 10.0)
+        assert store.write("u1", "score", 0.1, 10.0) == 1  # still absorbed
+        assert store.version_count() == 2
+
+    def test_replay_leaves_store_byte_identical(self):
+        def run(replay):
+            store = FeatureStore()
+            writes = [
+                ("u1", "a", 0.1, 10.0),
+                ("u2", "a", 0.2, 12.0),
+                ("u1", "b", 0.3, 11.0),
+            ]
+            for w in writes:
+                store.write(*w)
+            if replay:
+                for w in writes[1:]:
+                    store.write(*w)
+            return list(store.write_scan()), store.version_count()
+
+        assert run(replay=True) == run(replay=False)
+
+    def test_distinct_values_at_same_time_are_not_duplicates(self):
+        store = FeatureStore()
+        store.write("u1", "score", 0.1, 10.0)
+        store.write("u1", "score", 0.2, 10.0)
+        assert store.duplicate_writes == 0
+        assert store.version_count() == 2
+
+
+class TestConsistencyAudit:
+    WRITES = [
+        ("u1", "score", 0.1, 10.0),
+        ("u1", "score", 0.2, 20.0),
+        ("u2", "score", 0.5, 15.0),
+    ]
+
+    def _loaded(self):
+        store = FeatureStore("online")
+        for key, feature, value, ts in self.WRITES:
+            store.write(key, feature, value, ts)
+        return store
+
+    def test_clean_when_online_matches_offline(self):
+        report = self._loaded().consistency_report(self.WRITES)
+        assert report.ok
+
+    def test_arrival_order_does_not_matter(self):
+        store = FeatureStore("online")
+        for key, feature, value, ts in reversed(self.WRITES):
+            store.write(key, feature, value, ts)
+        assert store.consistency_report(self.WRITES).ok
+
+    def test_missing_online_write_detected(self):
+        store = FeatureStore("online")
+        for key, feature, value, ts in self.WRITES[:-1]:
+            store.write(key, feature, value, ts)
+        assert not store.consistency_report(self.WRITES).ok
+
+    def test_divergent_value_detected(self):
+        store = self._loaded()
+        store.write("u1", "score", 0.999, 30.0)  # online-only extra
+        assert not store.consistency_report(self.WRITES).ok
+
+
+class TestReadDigest:
+    def test_deterministic_and_sensitive(self):
+        def load():
+            store = FeatureStore()
+            store.write("u1", "a", 0.1, 10.0)
+            store.write("u2", "a", 0.2, 12.0)
+            return store
+
+        requests = [("u1", 11.0), ("u2", 20.0)]
+        assert load().read_digest(requests) == load().read_digest(requests)
+        assert load().read_digest(requests) != load().read_digest([("u1", 9.0)])
+
+    def test_counters_stay_out_of_the_digest(self):
+        # writes/duplicate_writes differ under at-least-once replay; the
+        # digest must not fold them in.
+        store = FeatureStore()
+        store.write("u1", "a", 0.1, 10.0)
+        store.write("u1", "a", 0.1, 10.0)  # replay
+        fresh = FeatureStore()
+        fresh.write("u1", "a", 0.1, 10.0)
+        requests = [("u1", 11.0)]
+        assert store.read_digest(requests) == fresh.read_digest(requests)
+
+
+class TestFeatureSink:
+    def test_writes_records_at_event_timestamps(self):
+        store = FeatureStore()
+        sink = FeatureSink(
+            store,
+            key_fn=lambda v: v["id"],
+            features_fn=lambda v: {"score": v["score"]},
+        )
+        sink.write(StreamRecord({"id": "u1", "score": 0.4}, 12.5, "u1"))
+        assert store.get_feature("u1", "score", 12.5) == 0.4
+        assert store.get_features("u1", 12.4) == {}
+
+    def test_sink_replay_is_idempotent(self):
+        store = FeatureStore()
+        sink = FeatureSink(
+            store, key_fn=lambda v: v["id"], features_fn=lambda v: {"s": v["s"]}
+        )
+        record = StreamRecord({"id": "u1", "s": 1}, 5.0, "u1")
+        sink.write(record)
+        sink.write(record)
+        assert store.version_count() == 1
+
+
+class TestIntrospection:
+    def test_key_and_version_counts_and_size(self):
+        store = FeatureStore()
+        assert store.key_count() == 0
+        store.write("u1", "a", 0.1, 10.0)
+        store.write("u1", "b", 0.2, 10.0)
+        store.write("u2", "a", 0.3, 10.0)
+        assert store.key_count() == 2
+        assert store.version_count() == 3
+        assert store.size_bytes() > 0

@@ -175,3 +175,54 @@ class TestWindowJoin:
             operator.process(record(value, 20.0, key="k"), input_index=1)
         fired = operator.on_watermark(Watermark(60.0))
         assert len(fired) == 4
+
+    def test_late_records_dropped_and_counted(self):
+        operator = WindowJoinOperator(TumblingWindows(60.0), lambda l, r: (l, r))
+        operator.process(record("a", 10.0, key="k"), input_index=0)
+        operator.on_watermark(Watermark(60.0))
+        # Window already fired: both sides drop, per WindowOperator rules.
+        operator.process(record("late-l", 15.0, key="k"), input_index=0)
+        operator.process(record("late-r", 20.0, key="k"), input_index=1)
+        assert operator.late_dropped == 2
+        assert operator.on_watermark(Watermark(120.0)) == []
+
+    def test_allowed_lateness_keeps_join_window_open(self):
+        operator = WindowJoinOperator(
+            TumblingWindows(60.0), lambda l, r: (l, r), allowed_lateness=30.0
+        )
+        operator.process(record("a", 10.0, key="k"), input_index=0)
+        # end + lateness > watermark: the window neither fires nor drops.
+        assert operator.on_watermark(Watermark(60.0)) == []
+        operator.process(record("b", 20.0, key="k"), input_index=1)  # late, admitted
+        assert operator.late_dropped == 0
+        fired = operator.on_watermark(Watermark(90.0))
+        assert [r.value for r in fired] == [("a", "b")]
+
+    def test_lateness_boundary_is_exclusive(self):
+        # Admission requires end + lateness > watermark STRICTLY —
+        # WindowOperator boundary parity.
+        operator = WindowJoinOperator(
+            TumblingWindows(60.0), lambda l, r: (l, r), allowed_lateness=30.0
+        )
+        operator.on_watermark(Watermark(90.0))
+        operator.process(record("a", 10.0, key="k"), input_index=0)
+        assert operator.late_dropped == 1
+
+    def test_snapshot_restore_preserves_buffers_and_counters(self):
+        operator = WindowJoinOperator(
+            TumblingWindows(60.0), lambda l, r: (l, r), allowed_lateness=10.0
+        )
+        operator.process(record("a", 70.0, key="k"), input_index=0)
+        operator.process(record("b", 80.0, key="k"), input_index=1)
+        operator.on_watermark(Watermark(75.0))  # [60,120) still open
+        operator.process(record("dropped", 1.0, key="old"), input_index=0)
+        # 1.0 assigns to window [0, 60): end 60 + 10 <= 75 -> dropped late.
+        assert operator.late_dropped == 1
+        restored = WindowJoinOperator(
+            TumblingWindows(60.0), lambda l, r: (l, r), allowed_lateness=10.0
+        )
+        restored.restore(operator.snapshot())
+        assert restored.current_watermark == 75.0
+        assert restored.late_dropped == 1
+        fired = restored.on_watermark(Watermark(130.0))
+        assert [r.value for r in fired] == [("a", "b")]

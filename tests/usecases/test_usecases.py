@@ -193,6 +193,24 @@ class TestPredictionMonitoring:
         monitoring = self._deploy()
         assert monitoring.trace.used == set(LAYERS)
 
+    def test_feature_store_point_in_time_consistency(self):
+        monitoring = self._deploy()
+        # Every prediction logged its request-time features...
+        assert monitoring.features.key_count() > 0
+        # ...and the online store reconciles exactly against an offline
+        # recomputation from the raw prediction log.
+        report = monitoring.feature_consistency_report()
+        assert report.ok
+
+    def test_features_never_read_ahead_of_event_time(self):
+        monitoring = self._deploy()
+        store = monitoring.features
+        canonical = next(iter(store._tables))
+        key = store._display[canonical]
+        (first_ts, __, __) = next(iter(store._tables[canonical].values()))[0]
+        assert store.get_features(key, as_of=first_ts - 0.001) == {}
+        assert store.get_features(key, as_of=first_ts) != {}
+
 
 class TestEatsOps:
     def _deploy(self):
